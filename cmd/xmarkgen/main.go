@@ -1,0 +1,48 @@
+// Command xmarkgen writes a synthetic XMark auction document as XML text.
+//
+// Usage:
+//
+//	xmarkgen -factor 0.01 -o auction.xml
+//
+// Scale factor 1.0 corresponds to the benchmark's ~110 MB document.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"mxq/internal/xmark"
+)
+
+func main() {
+	var (
+		factor = flag.Float64("factor", 0.01, "scale factor (1.0 ≈ 110 MB)")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := xmark.WriteXML(w, *factor, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+		os.Exit(1)
+	}
+	c := xmark.CountsFor(*factor)
+	fmt.Fprintf(os.Stderr, "xmarkgen: factor %g: %d persons, %d items, %d open, %d closed auctions\n",
+		*factor, c.Persons, c.Items, c.OpenAuctions, c.ClosedAuctions)
+}

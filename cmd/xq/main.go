@@ -1,0 +1,104 @@
+// Command xq is an interactive XQuery runner over the MonetDB/XQuery
+// reproduction engine.
+//
+// Usage:
+//
+//	xq -doc auction.xml 'for $p in /site/people/person return $p/name'
+//	xq -xmark 0.01 'count(//item)'
+//	echo 'count(//item)' | xq -xmark 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"mxq"
+)
+
+func main() {
+	var (
+		docPath  = flag.String("doc", "", "XML document to load as the context document")
+		xmarkF   = flag.Float64("xmark", 0, "generate an XMark document at this scale factor instead of loading one")
+		seed     = flag.Int64("seed", 42, "XMark generator seed")
+		explain  = flag.Bool("explain", false, "print plan statistics instead of running the query")
+		noJoin   = flag.Bool("no-joinrec", false, "disable join recognition")
+		noOrder  = flag.Bool("no-order", false, "disable the order-aware peephole optimizer")
+		noLifted = flag.Bool("no-looplift", false, "use per-iteration staircase joins")
+		timing   = flag.Bool("time", false, "print evaluation time")
+	)
+	flag.Parse()
+
+	var opts []mxq.Option
+	if *noJoin {
+		opts = append(opts, mxq.WithJoinRecognition(false))
+	}
+	if *noOrder {
+		opts = append(opts, mxq.WithOrderOptimizer(false))
+	}
+	if *noLifted {
+		opts = append(opts, mxq.WithLoopLiftedSteps(false))
+	}
+	db := mxq.Open(opts...)
+
+	switch {
+	case *docPath != "":
+		f, err := os.Open(*docPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = db.LoadDocument(*docPath, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *xmarkF > 0:
+		db.LoadXMark("auction.xml", *xmarkF, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "xq: provide -doc FILE or -xmark FACTOR")
+		os.Exit(2)
+	}
+
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		query = string(data)
+	}
+	if strings.TrimSpace(query) == "" {
+		fmt.Fprintln(os.Stderr, "xq: no query given")
+		os.Exit(2)
+	}
+
+	if *explain {
+		ops, joins, err := db.PlanStats(query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan: %d relational algebra operators, %d joins\n", ops, joins)
+		return
+	}
+	start := time.Now()
+	res, err := db.Query(query)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	if err := res.SerializeXML(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if *timing {
+		fmt.Fprintf(os.Stderr, "%d items in %v\n", res.Len(), elapsed)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xq:", err)
+	os.Exit(1)
+}

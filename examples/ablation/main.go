@@ -1,0 +1,54 @@
+// Ablation: run the same join query with and without the paper's two
+// headline optimizations — join recognition (§4) and the loop-lifted
+// staircase join (§3) — and print the timing gap on a generated XMark
+// document.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mxq"
+)
+
+const joinQuery = `
+	for $p in /site/people/person
+	let $a := for $t in /site/closed_auctions/closed_auction
+	          where $t/buyer/@person = $p/@id
+	          return $t
+	return <item person="{$p/name/text()}">{count($a)}</item>`
+
+const pathQuery = `for $p in /site/people/person return count($p//emailaddress)`
+
+func timeIt(db *mxq.DB, q string) time.Duration {
+	start := time.Now()
+	if _, err := db.Query(q); err != nil {
+		log.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+func main() {
+	const factor, seed = 0.01, 42
+
+	fmt.Println("== join recognition (paper Fig. 13) ==")
+	withJoin := mxq.Open(mxq.WithJoinRecognition(true))
+	withJoin.LoadXMark("auction.xml", factor, seed)
+	withoutJoin := mxq.Open(mxq.WithJoinRecognition(false))
+	withoutJoin.LoadXMark("auction.xml", factor, seed)
+	a := timeIt(withJoin, joinQuery)
+	b := timeIt(withoutJoin, joinQuery)
+	fmt.Printf("join recognition on:  %v\n", a)
+	fmt.Printf("join recognition off: %v  (%.1fx slower)\n\n", b, float64(b)/float64(a))
+
+	fmt.Println("== loop-lifted staircase join (paper Fig. 12) ==")
+	lifted := mxq.Open(mxq.WithLoopLiftedSteps(true))
+	lifted.LoadXMark("auction.xml", factor, seed)
+	iterative := mxq.Open(mxq.WithLoopLiftedSteps(false), mxq.WithNametestPushdown(false))
+	iterative.LoadXMark("auction.xml", factor, seed)
+	a = timeIt(lifted, pathQuery)
+	b = timeIt(iterative, pathQuery)
+	fmt.Printf("loop-lifted: %v\n", a)
+	fmt.Printf("iterative:   %v  (%.1fx slower)\n", b, float64(b)/float64(a))
+}

@@ -1,0 +1,44 @@
+// Quickstart: load a document, run queries, print results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mxq"
+)
+
+const doc = `<library>
+<book year="1994"><title>TCP/IP Illustrated</title><author>Stevens</author><price>65.95</price></book>
+<book year="2000"><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author><price>39.95</price></book>
+<book year="1999"><title>Economics of Technology</title><author>Gerbarg</author><price>129.95</price></book>
+</library>`
+
+func main() {
+	db := mxq.Open()
+	if err := db.LoadDocumentString("books.xml", doc); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		// all titles
+		`/library/book/title/text()`,
+		// books under 100 with their year
+		`for $b in /library/book
+		 where $b/price/text() < 100
+		 return <cheap year="{$b/@year}">{$b/title/text()}</cheap>`,
+		// count of authors per book, sorted by price
+		`for $b in /library/book
+		 order by number($b/price/text()) descending
+		 return <b title="{$b/title/text()}" authors="{count($b/author)}"/>`,
+		// aggregate
+		`avg(for $p in /library/book/price return number($p/text()))`,
+	}
+	for _, q := range queries {
+		out, err := db.QueryString(q)
+		if err != nil {
+			log.Fatalf("query failed: %v", err)
+		}
+		fmt.Printf("Q: %s\n=> %s\n\n", q, out)
+	}
+}

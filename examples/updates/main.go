@@ -1,0 +1,86 @@
+// Updates: exercise the paged rid|size|level update scheme of §5.2 —
+// structural inserts and deletes without global pre renumbering, followed
+// by queries over the updated view.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mxq"
+)
+
+const doc = `<inventory><warehouse id="w1"><crate><widget/><widget/></crate></warehouse><warehouse id="w2"><crate><widget/></crate></warehouse></inventory>`
+
+func main() {
+	u, err := mxq.LoadUpdatable("inv.xml", strings.NewReader(doc), 4, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	count := func(label string) {
+		db := u.Snapshot()
+		n, err := db.QueryString(`count(//widget)`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pages := u.Doc().Pages()
+		fmt.Printf("%-28s widgets=%s logical-pages=%d appended=%d moved=%d\n",
+			label, n, pages, u.Doc().PagesAppended, u.Doc().TuplesMoved)
+	}
+	count("initial")
+
+	// locate the first crate in the current view and grow it: inserts
+	// first use page-local slack, then splice overflow pages
+	db := u.Snapshot()
+	res, err := db.Query(`(//crate)[1]`)
+	if err != nil || res.Len() == 0 {
+		log.Fatalf("crate lookup: %v", err)
+	}
+	cratePre := int32(res.Items()[0].I)
+	for i := 0; i < 12; i++ {
+		if _, err := u.InsertFirst(cratePre, "widget", ""); err != nil {
+			log.Fatal(err)
+		}
+		// the crate's position may shift when an overflow page splices in
+		db = u.Snapshot()
+		res, err = db.Query(`(//crate)[1]`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cratePre = int32(res.Items()[0].I)
+	}
+	count("after 12 inserts")
+
+	// delete the second warehouse's crate: tuples blank in place
+	res, err = u.Snapshot().Query(`/inventory/warehouse[@id = "w2"]/crate`)
+	if err != nil || res.Len() == 0 {
+		log.Fatal("crate w2 lookup failed")
+	}
+	if err := u.Delete(int32(res.Items()[0].I)); err != nil {
+		log.Fatal(err)
+	}
+	count("after delete of w2 crate")
+
+	// a value update: tag the first warehouse
+	res, err = u.Snapshot().Query(`/inventory/warehouse[1]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := u.SetAttr(int32(res.Items()[0].I), "audited", "yes"); err != nil {
+		log.Fatal(err)
+	}
+	out, err := u.Snapshot().QueryString(`/inventory/warehouse[1]/@audited`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %s\n", "after SetAttr", out)
+
+	final, err := u.Snapshot().QueryString(`/inventory`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfinal document:")
+	fmt.Println(final)
+}

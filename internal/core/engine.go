@@ -1,0 +1,206 @@
+// Package core assembles the full MonetDB/XQuery reproduction: the
+// storage pool, the XQuery parser, the loop-lifting compiler, the
+// peephole optimizer and the columnar executor, behind one Engine type.
+// It corresponds to the paper's system picture in §5: the Pathfinder
+// compiler module on top of the MonetDB kernel with its XQuery runtime
+// module (loop-lifted staircase join and XML serialization).
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mxq/internal/opt"
+	"mxq/internal/ralg"
+	"mxq/internal/store"
+	"mxq/internal/xqc"
+	"mxq/internal/xqp"
+	"mxq/internal/xqt"
+)
+
+// Config selects the engine's optimization strategies; the zero value
+// disables everything (the ablation baselines of Figures 12–14), and
+// DefaultConfig enables the full system.
+type Config struct {
+	Compiler xqc.Options
+	// OrderAware runs the property-driven peephole optimizer (§4.1):
+	// sort elimination, refine sorts, streaming rank, positional joins,
+	// merge duplicate elimination (Figure 14's "order preserving").
+	OrderAware bool
+	// PlanCache re-uses compiled physical plans per query text (the
+	// paper's "physical query plan caching feature").
+	PlanCache bool
+}
+
+// DefaultConfig is the full-strength engine configuration.
+func DefaultConfig() Config {
+	return Config{Compiler: xqc.DefaultOptions(), OrderAware: true, PlanCache: true}
+}
+
+// Engine is one XQuery engine instance with its loaded documents.
+type Engine struct {
+	cfg         Config
+	pool        *store.Pool
+	defaultDoc  string
+	transientID int32
+	planCache   map[string]ralg.Plan
+	lastStats   ralg.ExecStats
+	lastPlan    ralg.Plan
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	e := &Engine{cfg: cfg, pool: store.NewPool(), planCache: make(map[string]ralg.Plan)}
+	// reserve the transient container slot
+	tr := store.NewContainer("")
+	e.pool.Register(tr)
+	e.transientID = tr.ID
+	return e
+}
+
+// Pool exposes the container pool (used by benchmarks and tests).
+func (e *Engine) Pool() *store.Pool { return e.pool }
+
+// LoadXML shreds and registers a document; the first document loaded
+// becomes the context document of absolute paths.
+func (e *Engine) LoadXML(name string, r io.Reader) error {
+	c, err := store.Shred(name, r, false)
+	if err != nil {
+		return err
+	}
+	e.LoadContainer(name, c)
+	return nil
+}
+
+// LoadContainer registers a pre-shredded document.
+func (e *Engine) LoadContainer(name string, c *store.Container) {
+	c.Name = name
+	e.pool.Register(c)
+	c.BuildIndexes()
+	if e.defaultDoc == "" {
+		e.defaultDoc = name
+	}
+}
+
+// SetContextDocument selects the document absolute paths refer to.
+func (e *Engine) SetContextDocument(name string) { e.defaultDoc = name }
+
+// Result is a query result: the item sequence plus access to the
+// containers the node items live in.
+type Result struct {
+	Items []xqt.Item
+	pool  *store.Pool
+}
+
+// Compile parses and compiles a query to its physical plan (optimized
+// according to the engine configuration) without executing it.
+func (e *Engine) Compile(q string) (ralg.Plan, error) {
+	if e.cfg.PlanCache {
+		if p, ok := e.planCache[q]; ok {
+			return p, nil
+		}
+	}
+	m, err := xqp.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := xqc.Compile(m, e.defaultDoc, e.cfg.Compiler)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.OrderAware {
+		plan = opt.Optimize(plan)
+	}
+	if e.cfg.PlanCache {
+		e.planCache[q] = plan
+	}
+	return plan, nil
+}
+
+// Query evaluates q and returns its result. Node items in the result
+// remain valid until the next Query call on this engine (they may live in
+// the per-query transient container, which is recycled).
+func (e *Engine) Query(q string) (*Result, error) {
+	plan, err := e.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	transient := store.NewContainer("")
+	e.pool.Replace(e.transientID, transient)
+	ex := ralg.NewExec(e.pool, transient)
+	tab, err := ex.Run(plan)
+	if err != nil {
+		return nil, err
+	}
+	e.lastStats = ex.Stats
+	e.lastPlan = plan
+	items := make([]xqt.Item, tab.N)
+	copy(items, tab.Items("item"))
+	return &Result{Items: items, pool: e.pool}, nil
+}
+
+// LastStats returns the executor counters of the most recent Query.
+func (e *Engine) LastStats() ralg.ExecStats { return e.lastStats }
+
+// PlanStats returns the operator and join counts of a compiled query
+// (the §4.1 plan statistics).
+func (e *Engine) PlanStats(q string) (ops, joins int, err error) {
+	plan, err := e.Compile(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	ops, joins = ralg.CountOps(plan)
+	return ops, joins, nil
+}
+
+// SerializeXML writes the result sequence as XML text: nodes are
+// serialized, adjacent atoms are separated by single spaces.
+func (r *Result) SerializeXML(w io.Writer) error {
+	prevAtom := false
+	for _, it := range r.Items {
+		switch it.K {
+		case xqt.KNode:
+			c := r.pool.Get(it.Cont)
+			if err := store.Serialize(w, c, int32(it.I)); err != nil {
+				return err
+			}
+			prevAtom = false
+		case xqt.KAttr:
+			c := r.pool.Get(it.Cont)
+			name := c.Names.Name(c.AttrName[it.I])
+			if _, err := fmt.Fprintf(w, `%s=%q`, name, c.AttrVal[it.I]); err != nil {
+				return err
+			}
+			prevAtom = false
+		default:
+			s := it.AsString()
+			if prevAtom {
+				s = " " + s
+			}
+			if _, err := io.WriteString(w, s); err != nil {
+				return err
+			}
+			prevAtom = true
+		}
+	}
+	return nil
+}
+
+// String renders the result as serialized XML text.
+func (r *Result) String() string {
+	var sb strings.Builder
+	if err := r.SerializeXML(&sb); err != nil {
+		return "serialize error: " + err.Error()
+	}
+	return sb.String()
+}
+
+// QueryString evaluates q and serializes the result.
+func (e *Engine) QueryString(q string) (string, error) {
+	r, err := e.Query(q)
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mxq/internal/naive"
+)
+
+// queryGen generates random queries over documents built from a small
+// element vocabulary, for randomized differential testing between the
+// relational engine and the naive interpreter.
+type queryGen struct {
+	rng *rand.Rand
+}
+
+var genNames = []string{"a", "b", "c", "d"}
+
+// randDoc builds a random XML document over the vocabulary: elements
+// a–d, attributes k/v with small integers, small integer text nodes.
+func (g *queryGen) randDoc(maxNodes int) string {
+	var sb strings.Builder
+	var build func(depth, budget int) int
+	build = func(depth, budget int) int {
+		name := genNames[g.rng.Intn(len(genNames))]
+		sb.WriteString("<" + name)
+		if g.rng.Intn(3) == 0 {
+			fmt.Fprintf(&sb, ` k="%d"`, g.rng.Intn(5))
+		}
+		if g.rng.Intn(4) == 0 {
+			fmt.Fprintf(&sb, ` v="%d"`, g.rng.Intn(3))
+		}
+		sb.WriteString(">")
+		used := 1
+		for used < budget && g.rng.Intn(3) != 0 {
+			if depth < 5 && g.rng.Intn(2) == 0 {
+				used += build(depth+1, budget-used)
+			} else {
+				fmt.Fprintf(&sb, "%d", g.rng.Intn(10))
+				used++
+			}
+		}
+		sb.WriteString("</" + name + ">")
+		return used
+	}
+	sb.WriteString("<root>")
+	total := 1
+	for total < maxNodes {
+		total += build(1, maxNodes-total)
+	}
+	sb.WriteString("</root>")
+	return sb.String()
+}
+
+func (g *queryGen) name() string { return genNames[g.rng.Intn(len(genNames))] }
+
+// randPath produces a random absolute path expression.
+func (g *queryGen) randPath() string {
+	var sb strings.Builder
+	sb.WriteString("/root")
+	steps := 1 + g.rng.Intn(3)
+	for i := 0; i < steps; i++ {
+		switch g.rng.Intn(6) {
+		case 0:
+			sb.WriteString("//" + g.name())
+		case 1:
+			sb.WriteString("/" + g.name() + fmt.Sprintf("[%d]", 1+g.rng.Intn(2)))
+		case 2:
+			sb.WriteString("/" + g.name() + "[@k]")
+		case 3:
+			sb.WriteString("/*")
+		default:
+			sb.WriteString("/" + g.name())
+		}
+	}
+	if g.rng.Intn(3) == 0 {
+		sb.WriteString("/text()")
+	}
+	return sb.String()
+}
+
+// randQuery produces a random query using the path generator.
+func (g *queryGen) randQuery() string {
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("count(%s)", g.randPath())
+	case 1:
+		return fmt.Sprintf("for $x in %s return <r>{$x}</r>", g.randPath())
+	case 2:
+		return fmt.Sprintf(`for $x in %s where $x/@k = "%d" return count($x/%s)`,
+			g.randPath(), g.rng.Intn(5), g.name())
+	case 3:
+		return fmt.Sprintf("for $x in %s order by string($x) return count($x/*)", g.randPath())
+	case 4:
+		return fmt.Sprintf("sum(for $x in %s return count($x))", g.randPath())
+	case 5:
+		return fmt.Sprintf("for $x in %s, $y in %s where $x/@k = $y/@v return 1",
+			g.randPath(), g.randPath())
+	case 6:
+		return fmt.Sprintf("if (exists(%s)) then count(%s) else 0", g.randPath(), g.randPath())
+	default:
+		return fmt.Sprintf("distinct-values(for $x in %s return $x/@k)", g.randPath())
+	}
+}
+
+// TestRandomizedDifferential cross-checks the engine against the naive
+// interpreter on randomly generated documents and queries, under both the
+// fully optimized and fully de-optimized configurations.
+func TestRandomizedDifferential(t *testing.T) {
+	trials := 40
+	queriesPer := 12
+	if testing.Short() {
+		trials = 8
+	}
+	rng := rand.New(rand.NewSource(2024))
+	g := &queryGen{rng: rng}
+	zero := Config{}
+	for trial := 0; trial < trials; trial++ {
+		doc := g.randDoc(30 + rng.Intn(60))
+		oracle := naive.New()
+		if err := oracle.LoadXML("r.xml", strings.NewReader(doc)); err != nil {
+			t.Fatalf("trial %d: bad generated doc: %v\n%s", trial, err, doc)
+		}
+		engFull := New(DefaultConfig())
+		if err := engFull.LoadXML("r.xml", strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+		engZero := New(zero)
+		if err := engZero.LoadXML("r.xml", strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < queriesPer; qi++ {
+			q := g.randQuery()
+			want, err := oracle.QueryString(q)
+			if err != nil {
+				t.Fatalf("trial %d oracle error on %s: %v", trial, q, err)
+			}
+			for name, eng := range map[string]*Engine{"full": engFull, "zero": engZero} {
+				got, err := eng.QueryString(q)
+				if err != nil {
+					t.Errorf("trial %d [%s] engine error on %s: %v\ndoc: %s", trial, name, q, err, doc)
+					continue
+				}
+				if got != want {
+					t.Errorf("trial %d [%s] mismatch on %s:\n got  %q\n want %q\ndoc: %s",
+						trial, name, q, got, want, doc)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package naive
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mxq/internal/store"
+	"mxq/internal/xqp"
+	"mxq/internal/xqt"
+)
+
+// maxUDFDepth bounds user-defined function recursion.
+const maxUDFDepth = 512
+
+func (in *Interp) evalCall(c *xqp.Call, env *scope) ([]Val, error) {
+	if f, ok := in.funcs[c.Name]; ok {
+		if len(c.Args) != len(f.Params) {
+			return nil, fmt.Errorf("xquery error XPST0017: %s expects %d arguments", c.Name, len(f.Params))
+		}
+		if in.depth >= maxUDFDepth {
+			return nil, fmt.Errorf("naive: user function recursion deeper than %d", maxUDFDepth)
+		}
+		fenv := &scope{vars: make(map[string][]Val)}
+		for i, p := range f.Params {
+			v, err := in.eval(c.Args[i], env)
+			if err != nil {
+				return nil, err
+			}
+			fenv.vars[p] = v
+		}
+		in.depth++
+		defer func() { in.depth-- }()
+		return in.eval(f.Body, fenv)
+	}
+	args := make([][]Val, len(c.Args))
+	for i, a := range c.Args {
+		v, err := in.eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return in.callBuiltin(c.Name, args, env)
+}
+
+func single(args [][]Val, i int) (xqt.Item, bool) {
+	if i >= len(args) || len(args[i]) == 0 {
+		return xqt.Item{}, false
+	}
+	return args[i][0].Atomize(), true
+}
+
+func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, error) {
+	switch name {
+	case "true":
+		return []Val{atomVal(xqt.Bool(true))}, nil
+	case "false":
+		return []Val{atomVal(xqt.Bool(false))}, nil
+	case "count":
+		return []Val{atomVal(xqt.Int(int64(len(args[0]))))}, nil
+	case "empty":
+		return []Val{atomVal(xqt.Bool(len(args[0]) == 0))}, nil
+	case "exists":
+		return []Val{atomVal(xqt.Bool(len(args[0]) != 0))}, nil
+	case "not":
+		b, err := ebv(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Val{atomVal(xqt.Bool(!b))}, nil
+	case "boolean":
+		b, err := ebv(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []Val{atomVal(xqt.Bool(b))}, nil
+	case "sum":
+		allInt := true
+		var si int64
+		var sf float64
+		for _, v := range args[0] {
+			a := v.Atomize()
+			if a.K == xqt.KInt {
+				si += a.I
+			} else {
+				allInt = false
+			}
+			sf += a.AsDouble()
+		}
+		if allInt {
+			return []Val{atomVal(xqt.Int(si))}, nil
+		}
+		return []Val{atomVal(xqt.Double(sf))}, nil
+	case "avg":
+		if len(args[0]) == 0 {
+			return nil, nil
+		}
+		var sf float64
+		for _, v := range args[0] {
+			sf += v.Atomize().AsDouble()
+		}
+		return []Val{atomVal(xqt.Double(sf / float64(len(args[0]))))}, nil
+	case "min", "max":
+		if len(args[0]) == 0 {
+			return nil, nil
+		}
+		best := args[0][0].Atomize()
+		for _, v := range args[0][1:] {
+			a := v.Atomize()
+			if (name == "min") == xqt.SortLess(a, best) {
+				best = a
+			}
+		}
+		return []Val{atomVal(best)}, nil
+	case "string":
+		it, ok := single(args, 0)
+		if !ok {
+			return []Val{atomVal(xqt.Str(""))}, nil
+		}
+		return []Val{atomVal(xqt.Str(it.AsString()))}, nil
+	case "data":
+		out := make([]Val, len(args[0]))
+		for i, v := range args[0] {
+			out[i] = atomVal(v.Atomize())
+		}
+		return out, nil
+	case "number":
+		it, ok := single(args, 0)
+		if !ok {
+			return []Val{atomVal(xqt.Double(math.NaN()))}, nil
+		}
+		return []Val{atomVal(xqt.Double(it.AsDouble()))}, nil
+	case "contains", "starts-with":
+		a, _ := single(args, 0)
+		b, _ := single(args, 1)
+		if name == "contains" {
+			return []Val{atomVal(xqt.Bool(strings.Contains(a.AsString(), b.AsString())))}, nil
+		}
+		return []Val{atomVal(xqt.Bool(strings.HasPrefix(a.AsString(), b.AsString())))}, nil
+	case "concat":
+		var sb strings.Builder
+		for i := range args {
+			if it, ok := single(args, i); ok {
+				sb.WriteString(it.AsString())
+			}
+		}
+		return []Val{atomVal(xqt.Str(sb.String()))}, nil
+	case "string-length":
+		it, _ := single(args, 0)
+		return []Val{atomVal(xqt.Int(int64(len(it.AsString()))))}, nil
+	case "floor", "ceiling", "round":
+		it, ok := single(args, 0)
+		if !ok {
+			return nil, nil
+		}
+		f := it.AsDouble()
+		switch name {
+		case "floor":
+			f = math.Floor(f)
+		case "ceiling":
+			f = math.Ceil(f)
+		default:
+			f = math.Round(f)
+		}
+		return []Val{atomVal(xqt.Double(f))}, nil
+	case "distinct-values":
+		seen := make(map[string]bool)
+		var out []Val
+		for _, v := range args[0] {
+			a := v.Atomize()
+			k := valueKey(a)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, atomVal(a))
+			}
+		}
+		return out, nil
+	case "zero-or-one":
+		if len(args[0]) > 1 {
+			return nil, fmt.Errorf("xquery error FORG0003: zero-or-one applied to a sequence of %d items", len(args[0]))
+		}
+		return args[0], nil
+	case "exactly-one":
+		if len(args[0]) != 1 {
+			return nil, fmt.Errorf("xquery error FORG0005: exactly-one applied to a sequence of %d items", len(args[0]))
+		}
+		return args[0], nil
+	case "one-or-more":
+		if len(args[0]) == 0 {
+			return nil, fmt.Errorf("xquery error FORG0004: one-or-more applied to an empty sequence")
+		}
+		return args[0], nil
+	case "name", "local-name":
+		if len(args[0]) == 0 {
+			return []Val{atomVal(xqt.Str(""))}, nil
+		}
+		v := args[0][0]
+		switch {
+		case v.Owner != nil:
+			return []Val{atomVal(xqt.Str(v.Owner.Attrs[v.AIdx].Name))}, nil
+		case v.Node != nil:
+			return []Val{atomVal(xqt.Str(v.Node.Name))}, nil
+		}
+		return nil, fmt.Errorf("xquery error XPTY0004: name() of a non-node")
+	case "doc":
+		it, ok := single(args, 0)
+		if !ok {
+			return nil, nil
+		}
+		root, ok := in.docs[it.AsString()]
+		if !ok {
+			return nil, fmt.Errorf("xquery error FODC0002: document %q not loaded", it.AsString())
+		}
+		return []Val{{Node: root}}, nil
+	case "last":
+		if env.ctxItem == nil {
+			return nil, fmt.Errorf("xquery error XPDY0002: last() outside a predicate")
+		}
+		return []Val{atomVal(xqt.Int(int64(env.ctxSize)))}, nil
+	case "position":
+		if env.ctxItem == nil {
+			return nil, fmt.Errorf("xquery error XPDY0002: position() outside a predicate")
+		}
+		return []Val{atomVal(xqt.Int(int64(env.ctxPos)))}, nil
+	}
+	return nil, fmt.Errorf("xquery error XPST0017: unknown function %s#%d", name, len(args))
+}
+
+// valueKey normalizes an atom for distinct-values: numeric values compare
+// numerically, everything else as strings (mirrors ralg's rowKey policy).
+func valueKey(a xqt.Item) string {
+	if a.IsNumeric() {
+		return fmt.Sprintf("n%v", a.AsDouble())
+	}
+	return "s" + a.AsString()
+}
+
+func (in *Interp) evalCtor(c *xqp.ElemCtor, env *scope) ([]Val, error) {
+	elem := &Node{Kind: store.KindElem, Name: c.Name}
+	in.ord++
+	elem.Ord = in.ord
+	for _, a := range c.Attrs {
+		var sb strings.Builder
+		for _, part := range a.Parts {
+			switch p := part.(type) {
+			case *xqp.Literal:
+				sb.WriteString(p.S)
+			default:
+				v, err := in.eval(part, env)
+				if err != nil {
+					return nil, err
+				}
+				for i, item := range v {
+					if i > 0 {
+						sb.WriteString(" ")
+					}
+					sb.WriteString(item.Atomize().AsString())
+				}
+			}
+		}
+		elem.Attrs = append(elem.Attrs, Attr{Name: a.Name, Val: sb.String()})
+	}
+	pendingText := ""
+	sawContent := false
+	flush := func() {
+		if pendingText != "" {
+			in.ord++
+			t := &Node{Kind: store.KindText, Text: pendingText, Parent: elem, Ord: in.ord}
+			elem.Children = append(elem.Children, t)
+			pendingText = ""
+		}
+	}
+	addAtom := func(s string) {
+		if pendingText != "" {
+			pendingText += " " + s
+		} else {
+			pendingText = s
+			sawContent = sawContent || s != ""
+		}
+	}
+	for _, part := range c.Content {
+		// literal text chunks and enclosed expressions are both treated
+		// as content atoms; adjacent atoms join with a single space (the
+		// same policy the relational constructor operator applies)
+		v, err := in.eval(part, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, item := range v {
+			switch {
+			case item.Node != nil:
+				flush()
+				if item.Node.Kind == store.KindDoc {
+					for _, ch := range item.Node.Children {
+						elem.Children = append(elem.Children, in.copyTree(ch, elem))
+					}
+				} else {
+					elem.Children = append(elem.Children, in.copyTree(item.Node, elem))
+				}
+				sawContent = true
+			case item.Owner != nil:
+				if sawContent || pendingText != "" {
+					return nil, fmt.Errorf("xquery error XQTY0024: attribute node after content in element constructor")
+				}
+				a := item.Owner.Attrs[item.AIdx]
+				elem.Attrs = append(elem.Attrs, Attr{Name: a.Name, Val: a.Val})
+			default:
+				addAtom(item.Atom.AsString())
+			}
+		}
+	}
+	flush()
+	return []Val{{Node: elem}}, nil
+}
+
+// copyTree deep-copies a subtree, assigning fresh document-order ranks.
+func (in *Interp) copyTree(n *Node, parent *Node) *Node {
+	in.ord++
+	cp := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text, Parent: parent, Ord: in.ord}
+	cp.Attrs = append(cp.Attrs, n.Attrs...)
+	for _, ch := range n.Children {
+		cp.Children = append(cp.Children, in.copyTree(ch, cp))
+	}
+	return cp
+}

@@ -1,0 +1,529 @@
+// Package pages implements the structural update scheme of §5.2: the
+// pre|size|level table is replaced by an append-only rid|size|level table
+// divided into logical pages, with the pre view reconstructed through a
+// page map.
+//
+//   - pre numbers are swizzled to rids using the high bits as an index
+//     into the page map (logical pages are a power-of-two number of
+//     tuples);
+//   - each logical page keeps a configurable fraction of unused tuples
+//     (level = NULL, size = length of the following unused run), so small
+//     subtree inserts stay page-local and deletes never shift pre numbers;
+//   - larger inserts append one fresh page to the rid table and splice it
+//     into the page map, becoming visible "halfway" in the pre view: all
+//     positions from the insertion point on shift uniformly by one page,
+//     so only the regions spanning the insertion point change size;
+//   - ancestor size maintenance applies deltas up the parent chain (the
+//     paper's remedy for root-lock contention).
+//
+// The queryable pre|size|level view is materialized page by page in
+// logical order; staircase join skips unused tuples via their size runs.
+// In this scheme a node's size counts every tuple slot of its region —
+// including unused slack — which preserves all positional skipping
+// arithmetic.
+package pages
+
+import (
+	"fmt"
+
+	"mxq/internal/store"
+)
+
+// Doc is an updatable XMark document: an append-only rid table plus the
+// logical page map.
+type Doc struct {
+	pageBits uint    // log2 of the page size in tuples
+	pageMap  []int32 // logical page index -> physical page index
+	revMap   []int32 // physical page index -> logical page index (lazy)
+
+	// rid-indexed columns (append-only; only non-key cells mutate)
+	size   []int32
+	level  []int32
+	kind   []store.NodeKind
+	nameID []int32
+	value  []int32
+	parent []int32 // parent rid; -1 for the root and unused tuples
+	texts  []string
+
+	attrNames map[int32][]int32 // keyed by owner rid
+	attrVals  map[int32][]string
+
+	names *store.Names
+
+	// counters for the update benchmarks
+	PagesAppended int
+	TuplesMoved   int
+}
+
+const defaultPageBits = 7 // 128 tuples per logical page
+
+// FromContainer converts a freshly shredded container into the paged
+// representation. fill is the used fraction of each logical page (the
+// shredder "leaves a certain percentage of tuples unused in each logical
+// page", §5.2).
+func FromContainer(c *store.Container, pageBits uint, fill float64) *Doc {
+	if pageBits == 0 {
+		pageBits = defaultPageBits
+	}
+	if fill <= 0 || fill > 1 {
+		fill = 0.75
+	}
+	d := &Doc{
+		pageBits:  pageBits,
+		names:     store.NewNames(),
+		attrNames: map[int32][]int32{},
+		attrVals:  map[int32][]string{},
+	}
+	pageSize := int32(1) << pageBits
+	used := int32(float64(pageSize) * fill)
+	if used < 1 {
+		used = 1
+	}
+	n := int32(c.Len())
+	ridOf := make([]int32, n)
+	rid := int32(0)
+	for p := int32(0); p < n; p++ {
+		if rid%pageSize == used { // leave the page tail unused
+			for rid%pageSize != 0 {
+				d.appendUnused()
+				rid++
+			}
+		}
+		ridOf[p] = rid
+		rid++
+		d.size = append(d.size, 0) // fixed below
+		d.level = append(d.level, c.Level[p])
+		d.kind = append(d.kind, c.Kind[p])
+		nm := int32(-1)
+		if c.Kind[p] == store.KindElem || c.Kind[p] == store.KindPI {
+			nm = d.names.ID(c.NameOf(p))
+		}
+		d.nameID = append(d.nameID, nm)
+		val := int32(-1)
+		switch c.Kind[p] {
+		case store.KindText, store.KindComment, store.KindPI:
+			d.texts = append(d.texts, c.TextOf(p))
+			val = int32(len(d.texts) - 1)
+		}
+		d.value = append(d.value, val)
+		d.parent = append(d.parent, -1)
+		ac, lo, hi := c.Attrs(p)
+		for i := lo; i < hi; i++ {
+			r := ridOf[p]
+			d.attrNames[r] = append(d.attrNames[r], d.names.ID(ac.Names.Name(ac.AttrName[i])))
+			d.attrVals[r] = append(d.attrVals[r], ac.AttrVal[i])
+		}
+	}
+	for rid%pageSize != 0 {
+		d.appendUnused()
+		rid++
+	}
+	// Region sizes count every slot between a node and the end of its
+	// subtree, including the unused slack that directly follows its last
+	// descendant (slack between sibling subtrees belongs to the earlier
+	// subtree's region, keeping regions nested and tilings exact).
+	for p := n - 1; p >= 0; p-- {
+		last := p + c.Size[p]
+		end := ridOf[last] + d.slackAfter(ridOf[last])
+		d.size[ridOf[p]] = end - ridOf[p]
+		if c.Parent[p] >= 0 {
+			d.parent[ridOf[p]] = ridOf[c.Parent[p]]
+		}
+	}
+	pages := int(rid) >> pageBits
+	d.pageMap = make([]int32, pages)
+	for i := range d.pageMap {
+		d.pageMap[i] = int32(i)
+	}
+	d.fixUnusedRuns()
+	return d
+}
+
+// slackAfter counts the unused tuples directly following rid within its
+// physical page.
+func (d *Doc) slackAfter(rid int32) int32 {
+	pageSize := int32(1) << d.pageBits
+	var k int32
+	for r := rid + 1; r < int32(len(d.size)) && r%pageSize != 0 && d.level[r] == store.NullLevel; r++ {
+		k++
+	}
+	return k
+}
+
+func (d *Doc) appendUnused() {
+	d.size = append(d.size, 0)
+	d.level = append(d.level, store.NullLevel)
+	d.kind = append(d.kind, store.KindUnused)
+	d.nameID = append(d.nameID, -1)
+	d.value = append(d.value, -1)
+	d.parent = append(d.parent, -1)
+}
+
+// fixUnusedRuns recomputes the size of unused tuples: the length of the
+// directly following unused run in the *pre view*, so staircase join can
+// skip a run in one step.
+func (d *Doc) fixUnusedRuns() {
+	d.fixRunsLocal(0, int32(d.Len())-1)
+}
+
+// fixRunsLocal recomputes unused-run sizes in [lo, hi], extending the
+// range to whole runs at both ends so updates stay page-local.
+func (d *Doc) fixRunsLocal(lo, hi int32) {
+	n := int32(d.Len())
+	if hi > n-1 {
+		hi = n - 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	for hi < n-1 && d.level[d.RidOf(hi+1)] == store.NullLevel {
+		hi++
+	}
+	for lo > 0 && d.level[d.RidOf(lo-1)] == store.NullLevel {
+		lo--
+	}
+	run := int32(0)
+	for p := hi; p >= lo; p-- {
+		rid := d.RidOf(p)
+		if d.level[rid] == store.NullLevel {
+			d.size[rid] = run
+			run++
+		} else {
+			run = 0
+		}
+	}
+}
+
+// Len returns the number of tuple slots in the pre view.
+func (d *Doc) Len() int { return len(d.pageMap) << d.pageBits }
+
+// PageSize returns the logical page size in tuples.
+func (d *Doc) PageSize() int { return 1 << d.pageBits }
+
+// Pages returns the current number of logical pages.
+func (d *Doc) Pages() int { return len(d.pageMap) }
+
+// RidOf swizzles a pre number into a rid: the high bits select the
+// logical page through the page map, the low bits are the offset.
+func (d *Doc) RidOf(pre int32) int32 {
+	page := pre >> d.pageBits
+	off := pre & ((1 << d.pageBits) - 1)
+	return d.pageMap[page]<<d.pageBits | off
+}
+
+// PreOf reverse-swizzles a rid into its current pre number via the
+// physical→logical page map.
+func (d *Doc) PreOf(rid int32) int32 {
+	if d.revMap == nil {
+		d.rebuildRevMap()
+	}
+	phys := rid >> d.pageBits
+	lp := d.revMap[phys]
+	if lp < 0 {
+		return -1
+	}
+	return lp<<d.pageBits | rid&((1<<d.pageBits)-1)
+}
+
+func (d *Doc) rebuildRevMap() {
+	d.revMap = make([]int32, len(d.pageMap))
+	for i := range d.revMap {
+		d.revMap[i] = -1
+	}
+	for lp, pp := range d.pageMap {
+		d.revMap[pp] = int32(lp)
+	}
+}
+
+// Kind returns the node kind at a pre position.
+func (d *Doc) Kind(pre int32) store.NodeKind { return d.kind[d.RidOf(pre)] }
+
+// Size returns the region size at a pre position.
+func (d *Doc) Size(pre int32) int32 { return d.size[d.RidOf(pre)] }
+
+// View materializes the current pre|size|level view as a container
+// (pages in logical order), ready for querying with the regular engine.
+func (d *Doc) View(name string) *store.Container {
+	c := store.NewContainer(name)
+	n := int32(d.Len())
+	ridToPre := make([]int32, len(d.size))
+	for pre := int32(0); pre < n; pre++ {
+		ridToPre[d.RidOf(pre)] = pre
+	}
+	for pre := int32(0); pre < n; pre++ {
+		rid := d.RidOf(pre)
+		c.Size = append(c.Size, d.size[rid])
+		c.Level = append(c.Level, d.level[rid])
+		c.Kind = append(c.Kind, d.kind[rid])
+		c.Frag = append(c.Frag, 0)
+		if d.level[rid] == store.NullLevel {
+			c.Parent = append(c.Parent, -1)
+			c.NameID = append(c.NameID, -1)
+			c.Value = append(c.Value, -1)
+			continue
+		}
+		par := int32(-1)
+		if d.parent[rid] >= 0 {
+			par = ridToPre[d.parent[rid]]
+		}
+		c.Parent = append(c.Parent, par)
+		nm := int32(-1)
+		if d.nameID[rid] >= 0 {
+			nm = c.Names.ID(d.names.Name(d.nameID[rid]))
+		}
+		c.NameID = append(c.NameID, nm)
+		val := int32(-1)
+		if d.value[rid] >= 0 {
+			c.Texts = append(c.Texts, d.texts[d.value[rid]])
+			val = int32(len(c.Texts) - 1)
+		}
+		c.Value = append(c.Value, val)
+	}
+	for pre := int32(0); pre < n; pre++ {
+		rid := d.RidOf(pre)
+		for i, an := range d.attrNames[rid] {
+			c.AttrOwner = append(c.AttrOwner, pre)
+			c.AttrName = append(c.AttrName, c.Names.ID(d.names.Name(an)))
+			c.AttrVal = append(c.AttrVal, d.attrVals[rid][i])
+		}
+	}
+	c.RebuildAttrIndex()
+	return c
+}
+
+// --- value updates --------------------------------------------------------
+
+// ReplaceText replaces the content of a text, comment or PI node: a pure
+// value update — one cell changes, nothing shifts.
+func (d *Doc) ReplaceText(pre int32, s string) error {
+	rid := d.RidOf(pre)
+	switch d.kind[rid] {
+	case store.KindText, store.KindComment, store.KindPI:
+		d.texts = append(d.texts, s)
+		d.value[rid] = int32(len(d.texts) - 1)
+		return nil
+	}
+	return fmt.Errorf("pages: node %d is not a text-valued node", pre)
+}
+
+// SetAttr sets (or adds) an attribute of an element node.
+func (d *Doc) SetAttr(pre int32, name, val string) error {
+	rid := d.RidOf(pre)
+	if d.kind[rid] != store.KindElem {
+		return fmt.Errorf("pages: node %d is not an element", pre)
+	}
+	id := d.names.ID(name)
+	for i, an := range d.attrNames[rid] {
+		if an == id {
+			d.attrVals[rid][i] = val
+			return nil
+		}
+	}
+	d.attrNames[rid] = append(d.attrNames[rid], id)
+	d.attrVals[rid] = append(d.attrVals[rid], val)
+	return nil
+}
+
+// --- structural updates -----------------------------------------------------
+
+// Delete blanks the subtree rooted at pre: its tuples become unused in
+// place, so no pre numbers shift and no ancestor sizes change (the
+// regions keep covering the blanked slots).
+func (d *Doc) Delete(pre int32) error {
+	rid := d.RidOf(pre)
+	if d.level[rid] == store.NullLevel {
+		return fmt.Errorf("pages: node %d is already unused", pre)
+	}
+	if d.parent[rid] < 0 {
+		return fmt.Errorf("pages: cannot delete the document root")
+	}
+	end := pre + d.size[rid]
+	for p := pre; p <= end; p++ {
+		r := d.RidOf(p)
+		d.level[r] = store.NullLevel
+		d.kind[r] = store.KindUnused
+		d.nameID[r] = -1
+		d.value[r] = -1
+		d.parent[r] = -1
+		delete(d.attrNames, r)
+		delete(d.attrVals, r)
+	}
+	d.fixRunsLocal(pre, end)
+	return nil
+}
+
+// InsertFirst inserts a new element (optionally holding one text node) as
+// the first child of parentPre and returns its pre position.
+func (d *Doc) InsertFirst(parentPre int32, name, text string) (int32, error) {
+	return d.insertAt(parentPre, parentPre+1, name, text)
+}
+
+// InsertAfter inserts a new element as the immediately following sibling
+// of pre and returns its position.
+func (d *Doc) InsertAfter(pre int32, name, text string) (int32, error) {
+	rid := d.RidOf(pre)
+	if d.parent[rid] < 0 {
+		return 0, fmt.Errorf("pages: node %d has no parent", pre)
+	}
+	parentPre := d.PreOf(d.parent[rid])
+	return d.insertAt(parentPre, pre+d.size[rid]+1, name, text)
+}
+
+// insertAt writes a new element subtree at pre position `at` under the
+// given parent. If `at` has enough unused slack, the insert is in-place;
+// otherwise one fresh logical page is spliced in at the insertion point
+// (the overflow path).
+func (d *Doc) insertAt(parentPre, at int32, name, text string) (int32, error) {
+	need := int32(1)
+	if text != "" {
+		need = 2
+	}
+	prid := d.RidOf(parentPre)
+	if d.kind[prid] != store.KindElem && d.kind[prid] != store.KindDoc {
+		return 0, fmt.Errorf("pages: insert target %d is not an element", parentPre)
+	}
+	if !d.hasSlack(at, need) {
+		d.splicePage(at)
+	}
+	// write the new tuples into the (now guaranteed) free slots
+	rid := d.RidOf(at)
+	lvl := d.levelOfRid(prid) + 1
+	d.level[rid] = lvl
+	d.kind[rid] = store.KindElem
+	d.nameID[rid] = d.names.ID(name)
+	d.value[rid] = -1
+	d.parent[rid] = prid
+	d.size[rid] = need - 1
+	if text != "" {
+		trid := d.RidOf(at + 1)
+		d.texts = append(d.texts, text)
+		d.level[trid] = lvl + 1
+		d.kind[trid] = store.KindText
+		d.nameID[trid] = -1
+		d.value[trid] = int32(len(d.texts) - 1)
+		d.parent[trid] = rid
+		d.size[trid] = 0
+	}
+	// ancestor size maintenance (deltas up the parent chain): grow
+	// regions that end before the inserted subtree
+	wantEnd := at + need - 1
+	for r := prid; r >= 0; r = d.parent[r] {
+		pre := d.PreOf(r)
+		end := pre + d.size[r]
+		if end >= wantEnd {
+			break // nesting: every higher ancestor covers too
+		}
+		d.size[r] += wantEnd - end
+	}
+	d.fixRunsLocal(at, at+int32(d.PageSize())*2)
+	return at, nil
+}
+
+func (d *Doc) levelOfRid(rid int32) int32 { return d.level[rid] }
+
+// hasSlack reports whether `need` unused slots are available at pre
+// position `at` (contiguous in the pre view).
+func (d *Doc) hasSlack(at, need int32) bool {
+	if at+need > int32(d.Len()) {
+		return false
+	}
+	for k := int32(0); k < need; k++ {
+		if d.level[d.RidOf(at+k)] != store.NullLevel {
+			return false
+		}
+	}
+	return true
+}
+
+// splicePage appends one fresh physical page and splices it into the page
+// map right after the page holding position `at`. The used tuples at
+// offsets ≥ at's offset move to the same offsets of the new page, so
+// every pre position ≥ at shifts uniformly by one page size; the region
+// sizes of exactly those nodes whose regions span position `at` grow by
+// one page size.
+func (d *Doc) splicePage(at int32) {
+	pageSize := int32(1) << d.pageBits
+	// collect the nodes whose regions span `at` (the ancestor chain of
+	// the insertion point), using pre positions of the old view
+	var grow []int32
+	for r := d.ancestorAt(at); r >= 0; r = d.parent[r] {
+		pre := d.PreOf(r)
+		if pre < at && pre+d.size[r] >= at {
+			grow = append(grow, r)
+		}
+	}
+	// append the fresh page and move the page tail
+	newPhys := int32(len(d.size)) >> d.pageBits
+	for i := int32(0); i < pageSize; i++ {
+		d.appendUnused()
+	}
+	d.PagesAppended++
+	curPage := at >> d.pageBits
+	off := at & (pageSize - 1)
+	oldPhys := d.pageMap[curPage]
+	moved := make(map[int32]int32) // src rid -> dst rid
+	for i := off; i < pageSize; i++ {
+		src := oldPhys<<d.pageBits | i
+		if d.level[src] == store.NullLevel {
+			continue
+		}
+		dst := newPhys<<d.pageBits | i
+		d.moveTuple(src, dst)
+		moved[src] = dst
+		d.TuplesMoved++
+	}
+	// one pass fixes the parent pointers of the moved tuples' children
+	if len(moved) > 0 {
+		for r := range d.parent {
+			if dst, ok := moved[d.parent[r]]; ok {
+				d.parent[r] = dst
+			}
+		}
+	}
+	// splice the new page after the current one
+	lp := int(curPage) + 1
+	d.pageMap = append(d.pageMap, 0)
+	copy(d.pageMap[lp+1:], d.pageMap[lp:])
+	d.pageMap[lp] = newPhys
+	d.rebuildRevMap()
+	for _, r := range grow {
+		d.size[r] += pageSize
+	}
+}
+
+// ancestorAt returns the rid of the deepest real node at or before
+// position `at` whose parent chain can span it: the parent of the slot's
+// neighborhood. We walk backwards to the nearest real tuple and take it
+// (or its parent chain) as the chain seed.
+func (d *Doc) ancestorAt(at int32) int32 {
+	for p := at - 1; p >= 0; p-- {
+		rid := d.RidOf(p)
+		if d.level[rid] != store.NullLevel {
+			return rid
+		}
+	}
+	return -1
+}
+
+// moveTuple relocates one tuple to a fresh rid; the caller remaps the
+// children's parent pointers in one pass afterwards.
+func (d *Doc) moveTuple(src, dst int32) {
+	d.size[dst] = d.size[src]
+	d.level[dst] = d.level[src]
+	d.kind[dst] = d.kind[src]
+	d.nameID[dst] = d.nameID[src]
+	d.value[dst] = d.value[src]
+	d.parent[dst] = d.parent[src]
+	if a, ok := d.attrNames[src]; ok {
+		d.attrNames[dst] = a
+		d.attrVals[dst] = d.attrVals[src]
+		delete(d.attrNames, src)
+		delete(d.attrVals, src)
+	}
+	d.size[src] = 0
+	d.level[src] = store.NullLevel
+	d.kind[src] = store.KindUnused
+	d.nameID[src] = -1
+	d.value[src] = -1
+	d.parent[src] = -1
+}

@@ -1,0 +1,295 @@
+package pages
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mxq/internal/core"
+	"mxq/internal/naive"
+	"mxq/internal/store"
+	"mxq/internal/xmark"
+)
+
+const doc = `<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>`
+
+func shred(t testing.TB, xml string) *store.Container {
+	t.Helper()
+	c, err := store.Shred("d.xml", strings.NewReader(xml), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// serializeView materializes and serializes the current document state.
+func serializeView(t testing.TB, d *Doc) string {
+	t.Helper()
+	v := d.View("v.xml")
+	if err := v.Validate(); err != nil {
+		t.Fatalf("view invalid: %v", err)
+	}
+	var sb strings.Builder
+	if err := store.Serialize(&sb, v, 0); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRoundTripThroughPages(t *testing.T) {
+	c := shred(t, doc)
+	for _, fill := range []float64{0.5, 0.75, 1.0} {
+		d := FromContainer(c, 3, fill) // tiny 8-tuple pages
+		if got := serializeView(t, d); got != doc {
+			t.Errorf("fill=%v: round trip %s, want %s", fill, got, doc)
+		}
+	}
+}
+
+func TestSwizzle(t *testing.T) {
+	c := shred(t, doc)
+	d := FromContainer(c, 3, 0.5)
+	for pre := int32(0); pre < int32(d.Len()); pre++ {
+		rid := d.RidOf(pre)
+		if back := d.PreOf(rid); back != pre {
+			t.Fatalf("PreOf(RidOf(%d)) = %d", pre, back)
+		}
+	}
+}
+
+func TestValueUpdates(t *testing.T) {
+	c := shred(t, `<a><b>old</b></a>`)
+	d := FromContainer(c, 3, 0.5)
+	// pre of the text node in the view: find it
+	v := d.View("v")
+	var textPre int32 = -1
+	for p := int32(0); p < int32(v.Len()); p++ {
+		if v.Kind[p] == store.KindText {
+			textPre = p
+		}
+	}
+	if err := d.ReplaceText(textPre, "new"); err != nil {
+		t.Fatal(err)
+	}
+	if got := serializeView(t, d); got != `<a><b>new</b></a>` {
+		t.Errorf("after ReplaceText: %s", got)
+	}
+	var bPre int32
+	for p := int32(0); p < int32(v.Len()); p++ {
+		if v.Kind[p] == store.KindElem && v.NameOf(p) == "b" {
+			bPre = p
+		}
+	}
+	if err := d.SetAttr(bPre, "k", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := serializeView(t, d); got != `<a><b k="1">new</b></a>` {
+		t.Errorf("after SetAttr: %s", got)
+	}
+}
+
+func TestDeleteLeavesUnusedTuples(t *testing.T) {
+	c := shred(t, doc)
+	d := FromContainer(c, 3, 1.0)
+	before := d.Len()
+	// delete <c> (first find its pre in the view)
+	v := d.View("v")
+	var cPre int32 = -1
+	for p := int32(0); p < int32(v.Len()); p++ {
+		if v.Kind[p] == store.KindElem && v.NameOf(p) == "c" {
+			cPre = p
+		}
+	}
+	if err := d.Delete(cPre); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != before {
+		t.Errorf("delete changed the view length: %d -> %d", before, d.Len())
+	}
+	if got := serializeView(t, d); got != `<a><b/><f><g/><h><i/><j/></h></f></a>` {
+		t.Errorf("after delete: %s", got)
+	}
+}
+
+func TestInsertUsesSlackThenOverflows(t *testing.T) {
+	c := shred(t, doc)
+	d := FromContainer(c, 3, 0.5) // 8-tuple pages, 4 used: plenty of slack
+	v := d.View("v")
+	var gPre int32 = -1
+	for p := int32(0); p < int32(v.Len()); p++ {
+		if v.Kind[p] == store.KindElem && v.NameOf(p) == "g" {
+			gPre = p
+		}
+	}
+	// the paper's running example: insert-first(/a/f/g, <k><l/><m/></k>) —
+	// here a two-node variant <k>text</k>
+	if _, err := d.InsertFirst(gPre, "k", "ktext"); err != nil {
+		t.Fatal(err)
+	}
+	want := `<a><b><c><d/><e/></c></b><f><g><k>ktext</k></g><h><i/><j/></h></f></a>`
+	if got := serializeView(t, d); got != want {
+		t.Errorf("after insert:\n got %s\nwant %s", got, want)
+	}
+	// saturate the document with inserts to force page overflows
+	for i := 0; i < 30; i++ {
+		v := d.View("v")
+		var target int32 = -1
+		for p := int32(0); p < int32(v.Len()); p++ {
+			if v.Kind[p] == store.KindElem && v.NameOf(p) == "h" {
+				target = p
+			}
+		}
+		if _, err := d.InsertFirst(target, "n", ""); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if d.PagesAppended == 0 {
+		t.Error("expected page overflows, got none")
+	}
+	v2 := d.View("v2")
+	if err := v2.Validate(); err != nil {
+		t.Fatalf("view after overflows invalid: %v", err)
+	}
+	eng := core.New(core.DefaultConfig())
+	eng.LoadContainer("v.xml", v2)
+	got, err := eng.QueryString(`count(/a/f/h/n)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "30" {
+		t.Errorf("inserted n count = %s, want 30", got)
+	}
+}
+
+// TestRandomUpdatesAgainstRebuild applies random structural update
+// sequences and verifies after every step that the paged view serializes
+// identically to an incrementally maintained DOM (then re-shredded).
+func TestRandomUpdatesAgainstRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		c := shred(t, doc)
+		d := FromContainer(c, 3, 0.5)
+		// the oracle: a naive DOM over the same document
+		var ord int64
+		dom := naive.FromContainer(c, &ord)
+		for step := 0; step < 25; step++ {
+			v := d.View("v")
+			// collect candidate element pres (skip the root element to
+			// keep deletes legal)
+			var elems []int32
+			for p := int32(0); p < int32(v.Len()); p++ {
+				if v.Kind[p] == store.KindElem {
+					elems = append(elems, p)
+				}
+			}
+			if len(elems) <= 1 {
+				break
+			}
+			target := elems[1+rng.Intn(len(elems)-1)]
+			domTarget := domNodeAt(dom, v, target)
+			switch rng.Intn(3) {
+			case 0: // insert-first
+				name := []string{"x", "y", "z"}[rng.Intn(3)]
+				if _, err := d.InsertFirst(target, name, ""); err != nil {
+					t.Fatalf("trial %d step %d insert: %v", trial, step, err)
+				}
+				ord++
+				nn := &naive.Node{Kind: store.KindElem, Name: name, Parent: domTarget, Ord: ord}
+				domTarget.Children = append([]*naive.Node{nn}, domTarget.Children...)
+			case 1: // delete
+				if err := d.Delete(target); err != nil {
+					t.Fatalf("trial %d step %d delete: %v", trial, step, err)
+				}
+				removeChild(domTarget.Parent, domTarget)
+			case 2: // set attribute
+				if err := d.SetAttr(target, "u", "1"); err != nil {
+					t.Fatal(err)
+				}
+				setAttr(domTarget, "u", "1")
+			}
+			got := serializeView(t, d)
+			var sb strings.Builder
+			naive.Serialize(&sb, dom)
+			if got != sb.String() {
+				t.Fatalf("trial %d step %d: paged view diverged\n got %s\nwant %s",
+					trial, step, got, sb.String())
+			}
+		}
+	}
+}
+
+// domNodeAt finds the DOM node corresponding to view pre p by walking
+// both structures in document order.
+func domNodeAt(root *naive.Node, v *store.Container, pre int32) *naive.Node {
+	var walkV func(p int32, n *naive.Node) *naive.Node
+	walkV = func(p int32, n *naive.Node) *naive.Node {
+		if p == pre {
+			return n
+		}
+		ci := 0
+		end := p + v.Size[p]
+		for q := p + 1; q <= end; q += v.Size[q] + 1 {
+			if v.Level[q] == store.NullLevel {
+				continue
+			}
+			if r := walkV(q, n.Children[ci]); r != nil {
+				return r
+			}
+			ci++
+		}
+		return nil
+	}
+	return walkV(0, root)
+}
+
+func removeChild(parent *naive.Node, child *naive.Node) {
+	for i, c := range parent.Children {
+		if c == child {
+			parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+			return
+		}
+	}
+}
+
+func setAttr(n *naive.Node, name, val string) {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Val = val
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, naive.Attr{Name: name, Val: val})
+}
+
+// TestQueryAfterUpdates runs real XQuery over an updated XMark document.
+func TestQueryAfterUpdates(t *testing.T) {
+	cont := xmark.NewStoreContainer("auction.xml", 0.001, 5)
+	d := FromContainer(cont, 0, 0.75)
+	v := d.View("auction.xml")
+	eng := core.New(core.DefaultConfig())
+	eng.LoadContainer("auction.xml", v)
+	before, err := eng.QueryString(`count(/site/open_auctions/open_auction)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// delete the first open auction
+	var target int32 = -1
+	for p := int32(0); p < int32(v.Len()); p++ {
+		if v.Kind[p] == store.KindElem && v.NameOf(p) == "open_auction" {
+			target = p
+			break
+		}
+	}
+	if err := d.Delete(target); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := core.New(core.DefaultConfig())
+	eng2.LoadContainer("auction.xml", d.View("auction.xml"))
+	after, err := eng2.QueryString(`count(/site/open_auctions/open_auction)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Errorf("delete had no effect: %s == %s", before, after)
+	}
+}

@@ -1,0 +1,1330 @@
+package ralg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mxq/internal/scj"
+	"mxq/internal/store"
+	"mxq/internal/xqt"
+)
+
+// ExecStats accumulates runtime counters across one plan execution.
+type ExecStats struct {
+	Step       scj.Stats // staircase join counters
+	SortedRows int64     // rows passed through sort operators
+	FullSorts  int64     // sort operators that ran a full (non-refine) sort
+	RefineSort int64     // sort operators that ran in refine mode
+	HashJoins  int64
+	PosJoins   int64
+	ThetaNL    int64 // theta joins executed nested-loop
+	ThetaIdx   int64 // theta joins executed via transient index
+	ExistAggr  int64 // theta joins reduced to per-iter extrema (Fig. 8b)
+	CrossRows  int64 // rows produced by Cartesian products
+}
+
+// MaxRows bounds intermediate result sizes; exceeding it aborts the query
+// with an error (the unoptimized Cartesian-product plans of Figure 13 hit
+// this on large documents, like the "materialization out of bounds"
+// failures the paper reports for Galax).
+const MaxRows = 64 << 20
+
+// Exec evaluates plan DAGs against a container pool. Shared sub-plans are
+// evaluated once and their results re-used.
+type Exec struct {
+	Pool      *store.Pool
+	Transient *store.Container
+	Stats     ExecStats
+
+	memo map[Plan]*Table
+}
+
+// NewExec returns an executor over the given pool. Transient nodes
+// constructed during execution are placed in transient, which must be
+// registered with the pool.
+func NewExec(pool *store.Pool, transient *store.Container) *Exec {
+	return &Exec{Pool: pool, Transient: transient, memo: make(map[Plan]*Table)}
+}
+
+// Run evaluates the plan and returns its result table.
+func (e *Exec) Run(p Plan) (*Table, error) {
+	if t, ok := e.memo[p]; ok {
+		return t, nil
+	}
+	in := make([]*Table, 0, 4)
+	for _, c := range p.Inputs() {
+		t, err := e.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		in = append(in, t)
+	}
+	t, err := e.apply(p, in)
+	if err != nil {
+		return nil, err
+	}
+	if t.N > MaxRows {
+		return nil, fmt.Errorf("ralg: intermediate result of %s exceeds %d rows", p.Name(), MaxRows)
+	}
+	e.memo[p] = t
+	return t, nil
+}
+
+func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
+	switch n := p.(type) {
+	case *Lit:
+		return n.Tab, nil
+	case *DocRoot:
+		return e.execDocRoot(n)
+	case *Project:
+		return execProject(n, in[0])
+	case *Attach:
+		return execAttach(n, in[0]), nil
+	case *Select:
+		return execSelect(n, in[0]), nil
+	case *Fun:
+		return e.execFun(n, in[0])
+	case *RowNum:
+		return execRowNum(n, in[0]), nil
+	case *Sort:
+		return e.execSort(n, in[0]), nil
+	case *HashJoin:
+		return e.execHashJoin(n, in[0], in[1])
+	case *ExistJoin:
+		return e.execExistJoin(n, in[0], in[1])
+	case *Cross:
+		return e.execCross(n, in[0], in[1])
+	case *Union:
+		return execUnion(in), nil
+	case *Diff:
+		return execDiff(n, in[0], in[1]), nil
+	case *Distinct:
+		return execDistinct(n, in[0]), nil
+	case *Aggr:
+		return execAggr(n, in[0])
+	case *Step:
+		return e.execStep(n, in[0])
+	case *AttrStep:
+		return e.execAttrStep(n, in[0])
+	case *ElemConstruct:
+		return e.execElem(n, in)
+	case *EBV:
+		return execEBV(n, in[0])
+	case *CardCheck:
+		return execCardCheck(n, in[0])
+	case *ColToItem:
+		return execColToItem(n, in[0]), nil
+	case *RangeGen:
+		return execRangeGen(n, in[0])
+	case *CoverCheck:
+		return execCoverCheck(n, in[0], in[1])
+	}
+	return nil, fmt.Errorf("ralg: unknown operator %T", p)
+}
+
+func execColToItem(n *ColToItem, in *Table) *Table {
+	src := in.Col(n.Src)
+	items := make([]xqt.Item, in.N)
+	switch src.Kind {
+	case KInt:
+		for i, v := range src.Int {
+			items[i] = xqt.Int(v)
+		}
+	case KBool:
+		for i, v := range src.Bool {
+			items[i] = xqt.Bool(v)
+		}
+	default:
+		copy(items, src.Item)
+	}
+	out := &Table{N: in.N, names: append([]string(nil), in.names...), cols: append([]Col(nil), in.cols...)}
+	out.names = append(out.names, n.Dst)
+	out.cols = append(out.cols, Col{Kind: KItem, Item: items})
+	return out
+}
+
+func execRangeGen(n *RangeGen, in *Table) (*Table, error) {
+	iters := in.Ints(n.Iter)
+	lo := in.Items(n.Lo)
+	hi := in.Items(n.Hi)
+	out := NewTable([]string{"iter", "pos", "item"}, []ColKind{KInt, KInt, KItem})
+	ic, pc, tc := out.Col("iter"), out.Col("pos"), out.Col("item")
+	for i := range iters {
+		a := int64(lo[i].AsDouble())
+		b := int64(hi[i].AsDouble())
+		if b-a > MaxRows {
+			return nil, fmt.Errorf("ralg: range %d to %d too large", a, b)
+		}
+		pos := int64(1)
+		for v := a; v <= b; v++ {
+			ic.Int = append(ic.Int, iters[i])
+			pc.Int = append(pc.Int, pos)
+			tc.Item = append(tc.Item, xqt.Int(v))
+			pos++
+		}
+	}
+	out.N = ic.Len()
+	return out, nil
+}
+
+func execCoverCheck(n *CoverCheck, loop, in *Table) (*Table, error) {
+	have := make(map[int64]bool, in.N)
+	for _, it := range in.Ints(n.Part) {
+		have[it] = true
+	}
+	for _, it := range loop.Ints(n.LoopIter) {
+		if !have[it] {
+			return nil, fmt.Errorf("xquery error FORG0005: %s applied to an empty sequence", n.Fn)
+		}
+	}
+	return in, nil
+}
+
+func (e *Exec) execDocRoot(n *DocRoot) (*Table, error) {
+	c, ok := e.Pool.ByName(n.Doc)
+	if !ok {
+		return nil, fmt.Errorf("ralg: document %q not loaded", n.Doc)
+	}
+	t := NewTable([]string{"pos", "item"}, []ColKind{KInt, KItem})
+	t.N = 1
+	t.Col("pos").Int = []int64{1}
+	t.Col("item").Item = []xqt.Item{xqt.Node(c.ID, 0)}
+	return t, nil
+}
+
+func execProject(n *Project, in *Table) (*Table, error) {
+	out := &Table{N: in.N}
+	for _, ref := range n.Cols {
+		if !in.HasCol(ref.Src) {
+			return nil, fmt.Errorf("ralg: project: no column %q in %v", ref.Src, in.Names())
+		}
+		out.names = append(out.names, ref.Dst)
+		out.cols = append(out.cols, *in.Col(ref.Src))
+	}
+	return out, nil
+}
+
+func execAttach(n *Attach, in *Table) *Table {
+	out := &Table{N: in.N, names: append([]string(nil), in.names...), cols: append([]Col(nil), in.cols...)}
+	c := Col{Kind: n.Kind}
+	switch n.Kind {
+	case KInt:
+		c.Int = make([]int64, in.N)
+		for i := range c.Int {
+			c.Int[i] = n.I
+		}
+	case KBool:
+		c.Bool = make([]bool, in.N)
+		for i := range c.Bool {
+			c.Bool[i] = n.B
+		}
+	default:
+		c.Item = make([]xqt.Item, in.N)
+		for i := range c.Item {
+			c.Item[i] = n.It
+		}
+	}
+	out.names = append(out.names, n.Col)
+	out.cols = append(out.cols, c)
+	return out
+}
+
+func execSelect(n *Select, in *Table) *Table {
+	cond := in.Bools(n.Cond)
+	idx := make([]int32, 0, in.N/2)
+	for i, b := range cond {
+		if b != n.Neg {
+			idx = append(idx, int32(i))
+		}
+	}
+	return in.Gather(idx)
+}
+
+func execRowNum(n *RowNum, in *Table) *Table {
+	rank := make([]int64, in.N)
+	switch n.Mode {
+	case RankStream:
+		// hash-based numbering in arrival order per group (§4.1): valid
+		// under grpord(OrderBy, Part)
+		if n.Part == "" {
+			for i := range rank {
+				rank[i] = int64(i) + 1
+			}
+		} else {
+			part := in.Ints(n.Part)
+			ctr := make(map[int64]int64, 64)
+			for i := range rank {
+				ctr[part[i]]++
+				rank[i] = ctr[part[i]]
+			}
+		}
+	case RankSeq:
+		if n.Part == "" {
+			for i := range rank {
+				rank[i] = int64(i) + 1
+			}
+		} else {
+			part := in.Ints(n.Part)
+			var cur int64
+			var k int64
+			for i := range rank {
+				if i == 0 || part[i] != cur {
+					cur, k = part[i], 0
+				}
+				k++
+				rank[i] = k
+			}
+		}
+	default: // RankSort
+		by := n.OrderBy
+		desc := n.Desc
+		if n.Part != "" {
+			by = append([]string{n.Part}, by...)
+			desc = append([]bool{false}, desc...)
+			for len(desc) < len(by) {
+				desc = append(desc, false)
+			}
+		}
+		idx := SortIdx(in, by, desc, 0)
+		if n.Part == "" {
+			for r, i := range idx {
+				rank[i] = int64(r) + 1
+			}
+		} else {
+			part := in.Ints(n.Part)
+			var cur int64
+			var k int64
+			for r, i := range idx {
+				if r == 0 || part[i] != cur {
+					cur, k = part[i], 0
+				}
+				k++
+				rank[i] = k
+			}
+		}
+	}
+	out := &Table{N: in.N, names: append([]string(nil), in.names...), cols: append([]Col(nil), in.cols...)}
+	out.names = append(out.names, n.Out)
+	out.cols = append(out.cols, Col{Kind: KInt, Int: rank})
+	return out
+}
+
+func (e *Exec) execSort(n *Sort, in *Table) *Table {
+	e.Stats.SortedRows += int64(in.N)
+	if n.RefinePrefix >= len(n.By) {
+		return in
+	}
+	if n.RefinePrefix > 0 {
+		e.Stats.RefineSort++
+	} else {
+		e.Stats.FullSorts++
+	}
+	idx := SortIdx(in, n.By, n.Desc, n.RefinePrefix)
+	return in.Gather(idx)
+}
+
+func (e *Exec) execHashJoin(n *HashJoin, l, r *Table) (*Table, error) {
+	lkey := l.Ints(n.LKey)
+	rkey := r.Ints(n.RKey)
+	var lidx, ridx []int32
+	if n.Pos && r.N > 0 {
+		e.Stats.PosJoins++
+		base := rkey[0]
+		for i, k := range lkey {
+			j := k - base
+			if j >= 0 && j < int64(r.N) {
+				lidx = append(lidx, int32(i))
+				ridx = append(ridx, int32(j))
+			}
+		}
+	} else if n.PosLeft && l.N > 0 {
+		e.Stats.PosJoins++
+		base := lkey[0]
+		for j, k := range rkey {
+			i := k - base
+			if i >= 0 && i < int64(l.N) {
+				lidx = append(lidx, int32(i))
+				ridx = append(ridx, int32(j))
+			}
+		}
+	} else {
+		e.Stats.HashJoins++
+		ht := make(map[int64][]int32, r.N)
+		for j, k := range rkey {
+			ht[k] = append(ht[k], int32(j))
+		}
+		for i, k := range lkey {
+			for _, j := range ht[k] {
+				lidx = append(lidx, int32(i))
+				ridx = append(ridx, j)
+			}
+		}
+	}
+	return joinGather(l, r, n.LCols, n.RCols, lidx, ridx)
+}
+
+func joinGather(l, r *Table, lcols, rcols []ColRef, lidx, ridx []int32) (*Table, error) {
+	out := &Table{N: len(lidx)}
+	for _, ref := range lcols {
+		out.names = append(out.names, ref.Dst)
+		out.cols = append(out.cols, l.Col(ref.Src).Gather(lidx))
+	}
+	for _, ref := range rcols {
+		out.names = append(out.names, ref.Dst)
+		out.cols = append(out.cols, r.Col(ref.Src).Gather(ridx))
+	}
+	return out, nil
+}
+
+func (e *Exec) execCross(n *Cross, l, r *Table) (*Table, error) {
+	total := int64(l.N) * int64(r.N)
+	if total > MaxRows {
+		return nil, fmt.Errorf("ralg: Cartesian product of %d x %d rows exceeds limit", l.N, r.N)
+	}
+	e.Stats.CrossRows += total
+	lidx := make([]int32, 0, total)
+	ridx := make([]int32, 0, total)
+	for i := 0; i < l.N; i++ {
+		for j := 0; j < r.N; j++ {
+			lidx = append(lidx, int32(i))
+			ridx = append(ridx, int32(j))
+		}
+	}
+	return joinGather(l, r, n.LCols, n.RCols, lidx, ridx)
+}
+
+func execUnion(in []*Table) *Table {
+	first := in[0]
+	out := &Table{}
+	for _, name := range first.names {
+		kind := first.Col(name).Kind
+		c := Col{Kind: kind}
+		for _, t := range in {
+			src := t.Col(name)
+			switch kind {
+			case KInt:
+				c.Int = append(c.Int, src.Int...)
+			case KBool:
+				c.Bool = append(c.Bool, src.Bool...)
+			default:
+				c.Item = append(c.Item, src.Item...)
+			}
+		}
+		out.names = append(out.names, name)
+		out.cols = append(out.cols, c)
+	}
+	if len(out.cols) > 0 {
+		out.N = out.cols[0].Len()
+	}
+	return out
+}
+
+func execDiff(n *Diff, l, r *Table) *Table {
+	rset := make(map[int64]bool, r.N)
+	for _, k := range r.Ints(n.RKey) {
+		rset[k] = true
+	}
+	var idx []int32
+	for i, k := range l.Ints(n.LKey) {
+		if !rset[k] {
+			idx = append(idx, int32(i))
+		}
+	}
+	return l.Gather(idx)
+}
+
+func execDistinct(n *Distinct, in *Table) *Table {
+	cols := make([]*Col, len(n.By))
+	for i, name := range n.By {
+		cols[i] = in.Col(name)
+	}
+	var idx []int32
+	if n.Merge {
+		for i := 0; i < in.N; i++ {
+			if i == 0 || compareRows(in, cols, nil, int32(i-1), int32(i)) != 0 {
+				idx = append(idx, int32(i))
+			}
+		}
+	} else {
+		seen := make(map[string]bool, in.N)
+		var key []byte
+		for i := 0; i < in.N; i++ {
+			key = rowKey(key[:0], cols, int32(i))
+			if !seen[string(key)] {
+				seen[string(key)] = true
+				idx = append(idx, int32(i))
+			}
+		}
+	}
+	return in.Gather(idx)
+}
+
+// rowKey encodes the given columns of row i into a hashable byte key.
+func rowKey(buf []byte, cols []*Col, i int32) []byte {
+	for _, c := range cols {
+		switch c.Kind {
+		case KInt:
+			buf = appendInt(buf, c.Int[i])
+		case KBool:
+			if c.Bool[i] {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		default:
+			it := c.Item[i]
+			switch it.K {
+			case xqt.KNode, xqt.KAttr:
+				buf = append(buf, byte(it.K))
+				buf = appendInt(buf, int64(it.Cont))
+				buf = appendInt(buf, it.I)
+			case xqt.KInt, xqt.KBool:
+				buf = append(buf, 'n')
+				buf = appendInt(buf, int64(math.Float64bits(float64(it.I))))
+			case xqt.KDouble:
+				buf = append(buf, 'n')
+				buf = appendInt(buf, int64(math.Float64bits(it.F)))
+			default:
+				buf = append(buf, 's')
+				buf = append(buf, it.S...)
+			}
+		}
+		buf = append(buf, 0xff)
+	}
+	return buf
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	for s := 56; s >= 0; s -= 8 {
+		buf = append(buf, byte(v>>uint(s)))
+	}
+	return buf
+}
+
+func execAggr(n *Aggr, in *Table) (*Table, error) {
+	part := in.Ints(n.Part)
+	var arg []xqt.Item
+	if n.Op != AggCount {
+		arg = in.Items(n.Arg)
+	}
+	type group struct {
+		cnt    int64
+		sumF   float64
+		sumI   int64
+		allInt bool
+		minmax xqt.Item
+	}
+	order := make([]int64, 0, 64)
+	groups := make(map[int64]*group, 64)
+	for i := 0; i < in.N; i++ {
+		g := groups[part[i]]
+		if g == nil {
+			g = &group{allInt: true}
+			groups[part[i]] = g
+			order = append(order, part[i])
+		}
+		g.cnt++
+		switch n.Op {
+		case AggSum, AggAvg:
+			it := arg[i]
+			if it.K == xqt.KInt {
+				g.sumI += it.I
+			} else {
+				g.allInt = false
+			}
+			g.sumF += it.AsDouble()
+		case AggMin:
+			if g.cnt == 1 || xqt.SortLess(arg[i], g.minmax) {
+				g.minmax = arg[i]
+			}
+		case AggMax:
+			if g.cnt == 1 || xqt.SortLess(g.minmax, arg[i]) {
+				g.minmax = arg[i]
+			}
+		}
+	}
+	out := NewTable([]string{n.Part, n.Out}, []ColKind{KInt, KItem})
+	out.N = len(order)
+	pc := make([]int64, len(order))
+	vc := make([]xqt.Item, len(order))
+	for i, p := range order {
+		g := groups[p]
+		pc[i] = p
+		switch n.Op {
+		case AggCount:
+			vc[i] = xqt.Int(g.cnt)
+		case AggSum:
+			if g.allInt {
+				vc[i] = xqt.Int(g.sumI)
+			} else {
+				vc[i] = xqt.Double(g.sumF)
+			}
+		case AggAvg:
+			vc[i] = xqt.Double(g.sumF / float64(g.cnt))
+		case AggMin, AggMax:
+			vc[i] = g.minmax
+		}
+	}
+	out.Col(n.Part).Int = pc
+	out.Col(n.Out).Item = vc
+	return out, nil
+}
+
+// stepInputSorted verifies the (item, iter) sort contract of Step inputs.
+func stepInputSorted(items []xqt.Item, iters []int64) bool {
+	for i := 1; i < len(items); i++ {
+		a, b := items[i-1], items[i]
+		if xqt.SortLess(a, b) {
+			continue
+		}
+		if xqt.SortLess(b, a) || iters[i-1] > iters[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
+	iters := in.Ints(n.IterCol)
+	items := in.Items(n.ItemCol)
+	if !stepInputSorted(items, iters) {
+		return nil, fmt.Errorf("ralg: step(%v) input not sorted on (item, iter): plan misses a sort", n.Axis)
+	}
+	out := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
+	// group context nodes by container; containers appear in ascending
+	// id order because the input is document-order sorted
+	i := 0
+	for i < len(items) {
+		if items[i].K != xqt.KNode {
+			// attribute nodes have no children etc.; only the parent
+			// axis resolves to their owner
+			if items[i].K == xqt.KAttr && n.Axis == scj.Parent {
+				c := e.Pool.Get(items[i].Cont)
+				owner := c.AttrOwner[items[i].I]
+				match := scj.CompileTest(c, n.Test)
+				if match(owner) {
+					out.Col("iter").Int = append(out.Col("iter").Int, iters[i])
+					out.Col("item").Item = append(out.Col("item").Item, xqt.Node(c.ID, owner))
+				}
+			}
+			i++
+			continue
+		}
+		cont := items[i].Cont
+		j := i
+		var ctx scj.Pairs
+		for j < len(items) && items[j].K == xqt.KNode && items[j].Cont == cont {
+			ctx.Pre = append(ctx.Pre, int32(items[j].I))
+			ctx.Iter = append(ctx.Iter, int32(iters[j]))
+			j++
+		}
+		c := e.Pool.Get(cont)
+		res := scj.Step(c, ctx, n.Axis, n.Test, n.Variant, &e.Stats.Step)
+		ic := out.Col("iter")
+		tc := out.Col("item")
+		for k := 0; k < res.Len(); k++ {
+			ic.Int = append(ic.Int, int64(res.Iter[k]))
+			tc.Item = append(tc.Item, xqt.Node(cont, res.Pre[k]))
+		}
+		i = j
+	}
+	out.N = out.Col("iter").Len()
+	return out, nil
+}
+
+func (e *Exec) execAttrStep(n *AttrStep, in *Table) (*Table, error) {
+	iters := in.Ints(n.IterCol)
+	items := in.Items(n.ItemCol)
+	if !stepInputSorted(items, iters) {
+		return nil, fmt.Errorf("ralg: attribute step input not sorted on (item, iter)")
+	}
+	out := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
+	ic := out.Col("iter")
+	tc := out.Col("item")
+	i := 0
+	for i < len(items) {
+		if items[i].K != xqt.KNode {
+			i++
+			continue
+		}
+		// group the run of identical context nodes so the output stays
+		// (attribute, iter)-ordered
+		j := i
+		for j < len(items) && items[j] == items[i] {
+			j++
+		}
+		c := e.Pool.Get(items[i].Cont)
+		pre := int32(items[i].I)
+		if c.Kind[pre] == store.KindElem {
+			ac, lo, hi := c.Attrs(pre)
+			for a := lo; a < hi; a++ {
+				if n.NameTest != "" && ac.Names.Name(ac.AttrName[a]) != n.NameTest {
+					continue
+				}
+				for k := i; k < j; k++ {
+					ic.Int = append(ic.Int, iters[k])
+					tc.Item = append(tc.Item, xqt.Attr(ac.ID, a))
+				}
+			}
+		}
+		i = j
+	}
+	out.N = ic.Len()
+	return out, nil
+}
+
+func execEBV(n *EBV, in *Table) (*Table, error) {
+	part := in.Ints(n.Part)
+	items := in.Items(n.Item)
+	out := NewTable([]string{n.Part, n.Out}, []ColKind{KInt, KBool})
+	pc := out.Col(n.Part)
+	bc := out.Col(n.Out)
+	i := 0
+	for i < len(part) {
+		j := i
+		for j < len(part) && part[j] == part[i] {
+			j++
+		}
+		v, err := ebvGroup(items[i:j])
+		if err != nil {
+			return nil, err
+		}
+		pc.Int = append(pc.Int, part[i])
+		bc.Bool = append(bc.Bool, v)
+		i = j
+	}
+	out.N = pc.Len()
+	return out, nil
+}
+
+func ebvGroup(items []xqt.Item) (bool, error) {
+	if items[0].IsNode() {
+		return true, nil
+	}
+	if len(items) > 1 {
+		return false, fmt.Errorf("xquery error FORG0006: effective boolean value of a sequence of %d atomic values", len(items))
+	}
+	return ebvAtom(items[0]), nil
+}
+
+func ebvAtom(it xqt.Item) bool {
+	switch it.K {
+	case xqt.KBool:
+		return it.I != 0
+	case xqt.KInt:
+		return it.I != 0
+	case xqt.KDouble:
+		return it.F != 0 && !math.IsNaN(it.F)
+	case xqt.KString, xqt.KUntyped:
+		return it.S != ""
+	}
+	return true
+}
+
+func execCardCheck(n *CardCheck, in *Table) (*Table, error) {
+	if n.AtMostOne {
+		part := in.Ints(n.Part)
+		for i := 1; i < len(part); i++ {
+			if part[i] == part[i-1] {
+				return nil, fmt.Errorf("xquery error FORG0003: %s applied to a sequence with more than one item", n.Fn)
+			}
+		}
+	}
+	return in, nil
+}
+
+func (e *Exec) atomize(it xqt.Item) xqt.Item {
+	switch it.K {
+	case xqt.KNode:
+		c := e.Pool.Get(it.Cont)
+		return xqt.Untyped(c.StringValue(int32(it.I)))
+	case xqt.KAttr:
+		c := e.Pool.Get(it.Cont)
+		return xqt.Untyped(c.AttrVal[it.I])
+	}
+	return it
+}
+
+func (e *Exec) execFun(n *Fun, in *Table) (*Table, error) {
+	out := &Table{N: in.N, names: append([]string(nil), in.names...), cols: append([]Col(nil), in.cols...)}
+	switch n.Op {
+	case FunAnd, FunOr:
+		a, b := in.Bools(n.Args[0]), in.Bools(n.Args[1])
+		c := make([]bool, in.N)
+		for i := range c {
+			if n.Op == FunAnd {
+				c[i] = a[i] && b[i]
+			} else {
+				c[i] = a[i] || b[i]
+			}
+		}
+		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
+		return out, nil
+	case FunNot:
+		a := in.Bools(n.Args[0])
+		c := make([]bool, in.N)
+		for i := range c {
+			c[i] = !a[i]
+		}
+		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
+		return out, nil
+	}
+
+	// getter views integer columns as xs:integer items so comparisons
+	// work uniformly over pos/count columns and item columns
+	getter := func(name string) func(int) xqt.Item {
+		col := in.Col(name)
+		switch col.Kind {
+		case KInt:
+			return func(i int) xqt.Item { return xqt.Int(col.Int[i]) }
+		case KBool:
+			return func(i int) xqt.Item { return xqt.Bool(col.Bool[i]) }
+		default:
+			return func(i int) xqt.Item { return col.Item[i] }
+		}
+	}
+	args := make([][]xqt.Item, len(n.Args))
+	for i, name := range n.Args {
+		if in.Col(name).Kind == KItem {
+			args[i] = in.Items(name)
+		}
+	}
+	switch n.Op {
+	case FunEq, FunNe, FunLt, FunLe, FunGt, FunGe:
+		op := map[FunOp]xqt.CmpOp{FunEq: xqt.CmpEq, FunNe: xqt.CmpNe, FunLt: xqt.CmpLt,
+			FunLe: xqt.CmpLe, FunGt: xqt.CmpGt, FunGe: xqt.CmpGe}[n.Op]
+		g0, g1 := getter(n.Args[0]), getter(n.Args[1])
+		c := make([]bool, in.N)
+		for i := range c {
+			c[i] = xqt.Compare(e.atomize(g0(i)), e.atomize(g1(i)), op)
+		}
+		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
+		return out, nil
+	case FunNodeBefore, FunNodeAfter, FunNodeIs:
+		c := make([]bool, in.N)
+		for i := range c {
+			a, b := args[0][i], args[1][i]
+			switch n.Op {
+			case FunNodeIs:
+				c[i] = a == b
+			case FunNodeBefore:
+				c[i] = xqt.DocOrderLess(a, b, e.Pool.AttrOwnerOf)
+			default:
+				c[i] = xqt.DocOrderLess(b, a, e.Pool.AttrOwnerOf)
+			}
+		}
+		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
+		return out, nil
+	case FunContains, FunStartsWith:
+		c := make([]bool, in.N)
+		for i := range c {
+			a := e.atomize(args[0][i]).AsString()
+			b := e.atomize(args[1][i]).AsString()
+			if n.Op == FunContains {
+				c[i] = strings.Contains(a, b)
+			} else {
+				c[i] = strings.HasPrefix(a, b)
+			}
+		}
+		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
+		return out, nil
+	case FunIsNumeric:
+		c := make([]bool, in.N)
+		for i := range c {
+			c[i] = args[0][i].IsNumeric()
+		}
+		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
+		return out, nil
+	case FunEbvAtom:
+		c := make([]bool, in.N)
+		for i := range c {
+			it := args[0][i]
+			if it.IsNode() {
+				c[i] = true
+			} else {
+				c[i] = ebvAtom(it)
+			}
+		}
+		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
+		return out, nil
+	}
+
+	c := make([]xqt.Item, in.N)
+	for i := range c {
+		switch n.Op {
+		case FunAdd, FunSub, FunMul, FunDiv, FunIDiv, FunMod:
+			c[i] = arith(n.Op, e.atomize(args[0][i]), e.atomize(args[1][i]))
+		case FunNeg:
+			a := e.atomize(args[0][i])
+			if a.K == xqt.KInt {
+				c[i] = xqt.Int(-a.I)
+			} else {
+				c[i] = xqt.Double(-a.AsDouble())
+			}
+		case FunAtomize:
+			c[i] = e.atomize(args[0][i])
+		case FunStringOf:
+			c[i] = xqt.Str(e.atomize(args[0][i]).AsString())
+		case FunNumber:
+			c[i] = xqt.Double(e.atomize(args[0][i]).AsDouble())
+		case FunConcat:
+			c[i] = xqt.Str(e.atomize(args[0][i]).AsString() + e.atomize(args[1][i]).AsString())
+		case FunNameOf:
+			c[i] = xqt.Str(e.nameOf(args[0][i]))
+		case FunFloor:
+			c[i] = xqt.Double(math.Floor(e.atomize(args[0][i]).AsDouble()))
+		case FunCeil:
+			c[i] = xqt.Double(math.Ceil(e.atomize(args[0][i]).AsDouble()))
+		case FunRound:
+			c[i] = xqt.Double(math.Round(e.atomize(args[0][i]).AsDouble()))
+		case FunStrLen:
+			c[i] = xqt.Int(int64(len(e.atomize(args[0][i]).AsString())))
+		default:
+			return nil, fmt.Errorf("ralg: unhandled function op %d", n.Op)
+		}
+	}
+	out.AddCol(n.Out, Col{Kind: KItem, Item: c})
+	return out, nil
+}
+
+func (e *Exec) nameOf(it xqt.Item) string {
+	switch it.K {
+	case xqt.KNode:
+		return e.Pool.Get(it.Cont).NameOf(int32(it.I))
+	case xqt.KAttr:
+		c := e.Pool.Get(it.Cont)
+		return c.Names.Name(c.AttrName[it.I])
+	}
+	return ""
+}
+
+// arith implements XQuery arithmetic with numeric promotion: integer
+// operands stay integral (except div), everything else is xs:double.
+func arith(op FunOp, a, b xqt.Item) xqt.Item {
+	if a.K == xqt.KInt && b.K == xqt.KInt && op != FunDiv {
+		x, y := a.I, b.I
+		switch op {
+		case FunAdd:
+			return xqt.Int(x + y)
+		case FunSub:
+			return xqt.Int(x - y)
+		case FunMul:
+			return xqt.Int(x * y)
+		case FunIDiv:
+			if y == 0 {
+				return xqt.Double(math.NaN())
+			}
+			return xqt.Int(x / y)
+		case FunMod:
+			if y == 0 {
+				return xqt.Double(math.NaN())
+			}
+			return xqt.Int(x % y)
+		}
+	}
+	x, y := a.AsDouble(), b.AsDouble()
+	switch op {
+	case FunAdd:
+		return xqt.Double(x + y)
+	case FunSub:
+		return xqt.Double(x - y)
+	case FunMul:
+		return xqt.Double(x * y)
+	case FunDiv:
+		return xqt.Double(x / y)
+	case FunIDiv:
+		return xqt.Int(int64(x / y))
+	case FunMod:
+		return xqt.Double(math.Mod(x, y))
+	}
+	return xqt.Double(math.NaN())
+}
+
+// cmpClass determines how a set of atoms compares: numeric dominates
+// string. Returns (numeric, mixedNodes).
+func cmpClass(items []xqt.Item) (numeric bool, uniform bool) {
+	sawNum, sawStr := false, false
+	for _, it := range items {
+		if it.IsNumeric() {
+			sawNum = true
+		} else {
+			sawStr = true
+		}
+	}
+	return sawNum, !(sawNum && sawStr)
+}
+
+func (e *Exec) execExistJoin(n *ExistJoin, l, r *Table) (*Table, error) {
+	liter := l.Ints(n.LIter)
+	riter := r.Ints(n.RIter)
+	litem := l.Items(n.LItem)
+	ritem := r.Items(n.RItem)
+	latoms := make([]xqt.Item, len(litem))
+	for i, it := range litem {
+		latoms[i] = e.atomize(it)
+	}
+	ratoms := make([]xqt.Item, len(ritem))
+	for i, it := range ritem {
+		ratoms[i] = e.atomize(it)
+	}
+	lnum, lu := cmpClass(latoms)
+	rnum, ru := cmpClass(ratoms)
+	uniform := lu && ru && (lnum == rnum || len(latoms) == 0 || len(ratoms) == 0)
+
+	var p1, p2 []int64
+	switch {
+	case n.Cmp == xqt.CmpEq && uniform:
+		p1, p2 = existHashJoin(liter, latoms, riter, ratoms, lnum || rnum)
+		e.Stats.HashJoins++
+	case n.Cmp != xqt.CmpEq && n.Cmp != xqt.CmpNe && uniform:
+		// Figure 8(b): under existential semantics an ordering
+		// comparison only needs each iteration's extremum, so both
+		// sides reduce to one row per iter before the join.
+		numeric := lnum || rnum
+		switch n.Cmp {
+		case xqt.CmpLt, xqt.CmpLe:
+			liter, latoms = reduceExtremum(liter, latoms, numeric, false) // min
+			riter, ratoms = reduceExtremum(riter, ratoms, numeric, true)  // max
+		default:
+			liter, latoms = reduceExtremum(liter, latoms, numeric, true)
+			riter, ratoms = reduceExtremum(riter, ratoms, numeric, false)
+		}
+		e.Stats.ExistAggr++
+		p1, p2 = e.existThetaJoin(n, liter, latoms, riter, ratoms, numeric)
+	default:
+		// heterogeneous inputs: per-pair promotion via nested loop
+		e.Stats.ThetaNL++
+		for i := range latoms {
+			for j := range ratoms {
+				if xqt.Compare(latoms[i], ratoms[j], n.Cmp) {
+					p1 = append(p1, liter[i])
+					p2 = append(p2, riter[j])
+				}
+			}
+		}
+		p1, p2 = dedupPairs(p1, p2)
+	}
+	out := NewTable([]string{n.Out1, n.Out2}, []ColKind{KInt, KInt})
+	out.N = len(p1)
+	out.Col(n.Out1).Int = p1
+	out.Col(n.Out2).Int = p2
+	return out, nil
+}
+
+// reduceExtremum keeps one row per iter: the minimum (max=false) or
+// maximum (max=true) value under numeric or string ordering. Input iters
+// are clustered (the inputs are [iter, pos] sorted); the output keeps one
+// row per cluster in input order.
+func reduceExtremum(iters []int64, atoms []xqt.Item, numeric, max bool) ([]int64, []xqt.Item) {
+	less := func(a, b xqt.Item) bool {
+		if numeric {
+			return a.AsDouble() < b.AsDouble()
+		}
+		return a.AsString() < b.AsString()
+	}
+	var oi []int64
+	var oa []xqt.Item
+	i := 0
+	for i < len(iters) {
+		best := atoms[i]
+		j := i + 1
+		for j < len(iters) && iters[j] == iters[i] {
+			if (max && less(best, atoms[j])) || (!max && less(atoms[j], best)) {
+				best = atoms[j]
+			}
+			j++
+		}
+		oi = append(oi, iters[i])
+		oa = append(oa, best)
+		i = j
+	}
+	return oi, oa
+}
+
+// existHashJoin evaluates an existential eq join: hash the right input by
+// comparison value, probe in left order, and eliminate duplicate
+// (iter1, iter2) pairs per left-iteration run (the merge-style δ of
+// §4.2).
+func existHashJoin(liter []int64, latoms []xqt.Item, riter []int64, ratoms []xqt.Item, numeric bool) (p1, p2 []int64) {
+	key := func(it xqt.Item) (string, bool) {
+		if numeric {
+			f := it.AsDouble()
+			if math.IsNaN(f) {
+				return "", false
+			}
+			var b [8]byte
+			v := math.Float64bits(f)
+			for i := 0; i < 8; i++ {
+				b[i] = byte(v >> uint(8*i))
+			}
+			return string(b[:]), true
+		}
+		return it.AsString(), true
+	}
+	ht := make(map[string][]int64, len(ratoms))
+	for j, it := range ratoms {
+		if k, ok := key(it); ok {
+			ht[k] = append(ht[k], riter[j])
+		}
+	}
+	for i := range latoms {
+		k, ok := key(latoms[i])
+		if !ok {
+			continue
+		}
+		for _, i2 := range ht[k] {
+			p1 = append(p1, liter[i])
+			p2 = append(p2, i2)
+		}
+	}
+	return dedupPairs(p1, p2)
+}
+
+// existThetaJoin evaluates <, <=, >, >= with the run-time "choose-plan"
+// of §4.2: a small join sample estimates the hit rate, then either
+// nested-loop join (output directly in [iter1, iter2] order) or a
+// transient sorted index with binary-search lookups (output refine-sorted
+// per iter1 chunk) evaluates the join.
+func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, latoms []xqt.Item, riter []int64, ratoms []xqt.Item, numeric bool) (p1, p2 []int64) {
+	val := func(it xqt.Item) float64 { return it.AsDouble() }
+	cmpOK := func(a, b xqt.Item) bool { return xqt.Compare(a, b, n.Cmp) }
+
+	strategy := n.Strategy
+	small := int64(len(latoms))*int64(len(ratoms)) <= 4096
+	// build the transient index (needed for sampling and index lookup)
+	perm := make([]int32, len(ratoms))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	if numeric {
+		sort.SliceStable(perm, func(a, b int) bool { return val(ratoms[perm[a]]) < val(ratoms[perm[b]]) })
+	} else {
+		sort.SliceStable(perm, func(a, b int) bool {
+			return ratoms[perm[a]].AsString() < ratoms[perm[b]].AsString()
+		})
+	}
+	matchRange := func(a xqt.Item) (int, int) {
+		// rows [lo, hi) of perm satisfy a Cmp r
+		switch n.Cmp {
+		case xqt.CmpLt, xqt.CmpLe:
+			lo := sort.Search(len(perm), func(k int) bool { return cmpOK(a, ratoms[perm[k]]) })
+			return lo, len(perm)
+		default: // Gt, Ge
+			hi := sort.Search(len(perm), func(k int) bool { return !cmpOK(a, ratoms[perm[k]]) })
+			return 0, hi
+		}
+	}
+	if strategy == ThetaAuto {
+		if small {
+			strategy = ThetaNestedLoop
+		} else {
+			// sample up to 64 probes to estimate the hit rate
+			probes := 64
+			if len(latoms) < probes {
+				probes = len(latoms)
+			}
+			hits := int64(0)
+			for s := 0; s < probes; s++ {
+				i := s * len(latoms) / probes
+				lo, hi := matchRange(latoms[i])
+				hits += int64(hi - lo)
+			}
+			est := hits * int64(len(latoms)) / int64(probes)
+			if est*4 >= int64(len(latoms))*int64(len(ratoms)) {
+				strategy = ThetaNestedLoop // result construction dominates
+			} else {
+				strategy = ThetaIndex
+			}
+		}
+	}
+	switch strategy {
+	case ThetaNestedLoop:
+		e.Stats.ThetaNL++
+		for i := range latoms {
+			for j := range ratoms {
+				if cmpOK(latoms[i], ratoms[j]) {
+					p1 = append(p1, liter[i])
+					p2 = append(p2, riter[j])
+				}
+			}
+		}
+	default:
+		e.Stats.ThetaIdx++
+		for i := range latoms {
+			lo, hi := matchRange(latoms[i])
+			start := len(p2)
+			for k := lo; k < hi; k++ {
+				p1 = append(p1, liter[i])
+				p2 = append(p2, riter[perm[k]])
+			}
+			// refine-sort the chunk on iter2 (the index delivers value
+			// order within an iter1 group)
+			chunk := p2[start:]
+			sort.Slice(chunk, func(a, b int) bool { return chunk[a] < chunk[b] })
+		}
+	}
+	return dedupPairs(p1, p2)
+}
+
+// dedupPairs removes duplicate (iter1, iter2) pairs and establishes
+// [iter1, iter2] order. Inputs that are already iter1-clustered (the
+// common case: probes in left order) are deduplicated with a per-run
+// merge; otherwise the pairs are sorted first.
+func dedupPairs(p1, p2 []int64) ([]int64, []int64) {
+	if len(p1) == 0 {
+		return p1, p2
+	}
+	clustered := true
+	for i := 1; i < len(p1); i++ {
+		if p1[i] < p1[i-1] {
+			clustered = false
+			break
+		}
+	}
+	if !clustered {
+		idx := make([]int, len(p1))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if p1[idx[a]] != p1[idx[b]] {
+				return p1[idx[a]] < p1[idx[b]]
+			}
+			return p2[idx[a]] < p2[idx[b]]
+		})
+		q1 := make([]int64, len(p1))
+		q2 := make([]int64, len(p2))
+		for i, j := range idx {
+			q1[i], q2[i] = p1[j], p2[j]
+		}
+		p1, p2 = q1, q2
+	}
+	o1 := p1[:0]
+	o2 := p2[:0]
+	start := 0
+	for start < len(p1) {
+		end := start + 1
+		for end < len(p1) && p1[end] == p1[start] {
+			end++
+		}
+		run := append([]int64(nil), p2[start:end]...)
+		sort.Slice(run, func(a, b int) bool { return run[a] < run[b] })
+		cur := p1[start]
+		for k, v := range run {
+			if k == 0 || v != run[k-1] {
+				o1 = append(o1, cur)
+				o2 = append(o2, v)
+			}
+		}
+		start = end
+	}
+	return o1, o2
+}
+
+func (e *Exec) execElem(n *ElemConstruct, in []*Table) (*Table, error) {
+	if e.Transient == nil {
+		return nil, fmt.Errorf("ralg: element construction without a transient container")
+	}
+	loop := in[0].Ints("iter")
+	content := in[1]
+	citer := content.Ints("iter")
+	citem := content.Items("item")
+	// attribute value cursors: one per attribute part
+	type partCur struct {
+		iter  []int64
+		items []xqt.Item
+		pos   int
+	}
+	type attrCur struct {
+		name  string
+		parts []partCur
+	}
+	attrs := make([]attrCur, len(n.Attrs))
+	next := 2
+	for i := range n.Attrs {
+		attrs[i].name = n.Attrs[i].Attr
+		for range n.Attrs[i].Parts {
+			t := in[next]
+			next++
+			attrs[i].parts = append(attrs[i].parts, partCur{iter: t.Ints("iter"), items: t.Items("item")})
+		}
+	}
+	out := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
+	ic := out.Col("iter")
+	tc := out.Col("item")
+	b := store.NewContainerBuilder(e.Transient)
+	ci := 0
+	for _, it := range loop {
+		pre := b.StartElem(n.Tag)
+		for a := range attrs {
+			var val strings.Builder
+			for pi := range attrs[a].parts {
+				cur := &attrs[a].parts[pi]
+				for cur.pos < len(cur.iter) && cur.iter[cur.pos] < it {
+					cur.pos++
+				}
+				first := true
+				for cur.pos < len(cur.iter) && cur.iter[cur.pos] == it {
+					if !first {
+						val.WriteString(" ")
+					}
+					first = false
+					val.WriteString(e.atomize(cur.items[cur.pos]).AsString())
+					cur.pos++
+				}
+			}
+			b.Attr(attrs[a].name, val.String())
+		}
+		for ci < len(citer) && citer[ci] < it {
+			ci++
+		}
+		pendingText := ""
+		sawContent := false
+		flush := func() {
+			if pendingText != "" {
+				b.Text(pendingText)
+				pendingText = ""
+			}
+		}
+		for ci < len(citer) && citer[ci] == it {
+			item := citem[ci]
+			switch item.K {
+			case xqt.KNode:
+				flush()
+				src := e.Pool.Get(item.Cont)
+				if src.Kind[item.I] == store.KindDoc {
+					// copying a document node copies its children
+					end := int32(item.I) + src.Size[item.I]
+					for p := int32(item.I) + 1; p <= end; p += src.Size[p] + 1 {
+						b.CopyTree(src, p)
+					}
+				} else {
+					b.CopyTree(src, int32(item.I))
+				}
+				sawContent = true
+			case xqt.KAttr:
+				src := e.Pool.Get(item.Cont)
+				if sawContent || pendingText != "" {
+					return nil, fmt.Errorf("xquery error XQTY0024: attribute node after content in element constructor")
+				}
+				b.Attr(src.Names.Name(src.AttrName[item.I]), src.AttrVal[item.I])
+			default:
+				if pendingText != "" {
+					pendingText += " " + item.AsString()
+				} else {
+					pendingText = item.AsString()
+					sawContent = sawContent || pendingText != ""
+				}
+			}
+			ci++
+		}
+		flush()
+		b.End()
+		ic.Int = append(ic.Int, it)
+		tc.Item = append(tc.Item, xqt.Node(e.Transient.ID, pre))
+	}
+	out.N = ic.Len()
+	return out, nil
+}

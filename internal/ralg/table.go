@@ -1,0 +1,285 @@
+// Package ralg is the columnar relational algebra engine that hosts the
+// XQuery compilation scheme of MonetDB/XQuery. It provides the operator
+// repertoire the paper's plans are built from (paper §2.1 and §4):
+// projection, selection, row numbering ρ (DENSE_RANK), equi-/theta-joins
+// with positional and existential variants, disjoint union, difference,
+// duplicate elimination, grouped aggregation, sorting, the staircase-join
+// location step, and XML node construction.
+//
+// Tables are sets of named, equally long columns. Three column kinds
+// exist: dense integers (iter/pos/inner/outer columns), booleans
+// (predicates), and polymorphic XQuery items (the item columns of the
+// iter|pos|item sequence encoding).
+package ralg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mxq/internal/xqt"
+)
+
+// ColKind discriminates column representations.
+type ColKind uint8
+
+// Column kinds.
+const (
+	KInt  ColKind = iota // int64 column
+	KBool                // boolean column
+	KItem                // polymorphic XQuery item column
+)
+
+// Col is a single column. Exactly one of the payload slices is non-nil,
+// determined by Kind.
+type Col struct {
+	Kind ColKind
+	Int  []int64
+	Bool []bool
+	Item []xqt.Item
+}
+
+// Len returns the number of rows in the column.
+func (c *Col) Len() int {
+	switch c.Kind {
+	case KInt:
+		return len(c.Int)
+	case KBool:
+		return len(c.Bool)
+	default:
+		return len(c.Item)
+	}
+}
+
+// Gather returns a new column holding rows idx of c, in order.
+func (c *Col) Gather(idx []int32) Col {
+	out := Col{Kind: c.Kind}
+	switch c.Kind {
+	case KInt:
+		out.Int = make([]int64, len(idx))
+		for i, j := range idx {
+			out.Int[i] = c.Int[j]
+		}
+	case KBool:
+		out.Bool = make([]bool, len(idx))
+		for i, j := range idx {
+			out.Bool[i] = c.Bool[j]
+		}
+	default:
+		out.Item = make([]xqt.Item, len(idx))
+		for i, j := range idx {
+			out.Item[i] = c.Item[j]
+		}
+	}
+	return out
+}
+
+// Table is a named collection of columns of equal length.
+type Table struct {
+	N     int
+	names []string
+	cols  []Col
+}
+
+// NewTable returns an empty table with the given column names and kinds.
+func NewTable(names []string, kinds []ColKind) *Table {
+	if len(names) != len(kinds) {
+		panic("ralg: names/kinds mismatch")
+	}
+	t := &Table{names: append([]string(nil), names...)}
+	t.cols = make([]Col, len(kinds))
+	for i, k := range kinds {
+		t.cols[i].Kind = k
+	}
+	return t
+}
+
+// Names returns the column names in schema order.
+func (t *Table) Names() []string { return t.names }
+
+// Col returns the column with the given name, panicking if absent (a
+// compiler bug, not a data error).
+func (t *Table) Col(name string) *Col {
+	for i, n := range t.names {
+		if n == name {
+			return &t.cols[i]
+		}
+	}
+	panic(fmt.Sprintf("ralg: no column %q in table %v", name, t.names))
+}
+
+// HasCol reports whether the table has a column with the given name.
+func (t *Table) HasCol(name string) bool {
+	for _, n := range t.names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AddCol appends a column to the schema.
+func (t *Table) AddCol(name string, c Col) {
+	if c.Len() != t.N && !(t.N == 0 && len(t.names) == 0) {
+		panic(fmt.Sprintf("ralg: column %q length %d != %d", name, c.Len(), t.N))
+	}
+	if len(t.names) == 0 {
+		t.N = c.Len()
+	}
+	t.names = append(t.names, name)
+	t.cols = append(t.cols, c)
+}
+
+// Gather returns a new table holding rows idx of t, in order.
+func (t *Table) Gather(idx []int32) *Table {
+	out := &Table{N: len(idx), names: append([]string(nil), t.names...)}
+	out.cols = make([]Col, len(t.cols))
+	for i := range t.cols {
+		out.cols[i] = t.cols[i].Gather(idx)
+	}
+	return out
+}
+
+// Ints returns the int64 payload of an integer column.
+func (t *Table) Ints(name string) []int64 { return t.Col(name).Int }
+
+// Items returns the item payload of an item column.
+func (t *Table) Items(name string) []xqt.Item { return t.Col(name).Item }
+
+// Bools returns the boolean payload of a boolean column.
+func (t *Table) Bools(name string) []bool { return t.Col(name).Bool }
+
+// String renders the table for debugging and test failure messages.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.names, "|"))
+	sb.WriteString("\n")
+	for r := 0; r < t.N && r < 50; r++ {
+		for i := range t.cols {
+			if i > 0 {
+				sb.WriteString(" ")
+			}
+			c := &t.cols[i]
+			switch c.Kind {
+			case KInt:
+				fmt.Fprintf(&sb, "%d", c.Int[r])
+			case KBool:
+				fmt.Fprintf(&sb, "%v", c.Bool[r])
+			default:
+				it := c.Item[r]
+				switch it.K {
+				case xqt.KNode:
+					fmt.Fprintf(&sb, "node(%d,%d)", it.Cont, it.I)
+				case xqt.KAttr:
+					fmt.Fprintf(&sb, "attr(%d,%d)", it.Cont, it.I)
+				default:
+					fmt.Fprintf(&sb, "%s", it.AsString())
+				}
+			}
+		}
+		sb.WriteString("\n")
+	}
+	if t.N > 50 {
+		fmt.Fprintf(&sb, "... (%d rows)\n", t.N)
+	}
+	return sb.String()
+}
+
+// compareRows compares rows i and j of t on the given columns with the
+// given per-column descending flags. Items compare with xqt.SortLess
+// (document order for nodes, value order for atoms).
+func compareRows(t *Table, by []*Col, desc []bool, i, j int32) int {
+	for k, c := range by {
+		var r int
+		switch c.Kind {
+		case KInt:
+			a, b := c.Int[i], c.Int[j]
+			switch {
+			case a < b:
+				r = -1
+			case a > b:
+				r = 1
+			}
+		case KBool:
+			a, b := c.Bool[i], c.Bool[j]
+			switch {
+			case !a && b:
+				r = -1
+			case a && !b:
+				r = 1
+			}
+		default:
+			a, b := c.Item[i], c.Item[j]
+			switch {
+			case xqt.SortLess(a, b):
+				r = -1
+			case xqt.SortLess(b, a):
+				r = 1
+			}
+		}
+		if r != 0 {
+			if desc != nil && desc[k] {
+				return -r
+			}
+			return r
+		}
+	}
+	return 0
+}
+
+// SortIdx returns a stable permutation of t's rows ordered by the given
+// columns. refinePrefix > 0 asserts that the input is already sorted on
+// the first refinePrefix columns; only runs with equal prefixes are
+// re-sorted (the paper's incremental refine-sort).
+func SortIdx(t *Table, by []string, desc []bool, refinePrefix int) []int32 {
+	cols := make([]*Col, len(by))
+	for i, n := range by {
+		cols[i] = t.Col(n)
+	}
+	idx := make([]int32, t.N)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	if refinePrefix >= len(by) {
+		return idx
+	}
+	if refinePrefix == 0 {
+		sort.SliceStable(idx, func(a, b int) bool {
+			return compareRows(t, cols, desc, idx[a], idx[b]) < 0
+		})
+		return idx
+	}
+	prefix := cols[:refinePrefix]
+	suffix := cols[refinePrefix:]
+	var sufDesc []bool
+	if desc != nil {
+		sufDesc = desc[refinePrefix:]
+	}
+	start := 0
+	for start < t.N {
+		end := start + 1
+		for end < t.N && compareRows(t, prefix, nil, int32(start), int32(end)) == 0 {
+			end++
+		}
+		run := idx[start:end]
+		sort.SliceStable(run, func(a, b int) bool {
+			return compareRows(t, suffix, sufDesc, run[a], run[b]) < 0
+		})
+		start = end
+	}
+	return idx
+}
+
+// IsSortedBy reports whether t is sorted on the given columns.
+func IsSortedBy(t *Table, by []string) bool {
+	cols := make([]*Col, len(by))
+	for i, n := range by {
+		cols[i] = t.Col(n)
+	}
+	for i := 1; i < t.N; i++ {
+		if compareRows(t, cols, nil, int32(i-1), int32(i)) > 0 {
+			return false
+		}
+	}
+	return true
+}

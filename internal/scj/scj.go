@@ -1,0 +1,815 @@
+// Package scj implements staircase join — the XPath-aware join operator of
+// MonetDB/XQuery — in its loop-lifted form (paper §3): a single sequential
+// pass over the pre|size|level document encoding evaluates an XPath
+// location step for the context node sequences of *all* iterations of an
+// enclosing XQuery for-loop at once.
+//
+// Three techniques distinguish staircase join from generic structural
+// joins (paper Figures 1–3):
+//
+//   - Pruning: context nodes covered by another context node of the same
+//     iteration are dropped, as they would only produce duplicates.
+//   - Partitioning: overlapping context regions are split along the pre
+//     axis (implemented by the stack of active context nodes), so result
+//     nodes are emitted exactly once per iteration.
+//   - Skipping: regions of the document that cannot contain results are
+//     skipped via the size property, so no more than |result| + |context|
+//     tuples are touched.
+//
+// The package also provides the per-iteration ("iterative") variants used
+// as the ablation baseline of Figure 12, and candidate-list variants that
+// implement nametest pushdown through the element-name index (§3.2).
+package scj
+
+import (
+	"sort"
+
+	"mxq/internal/store"
+)
+
+// Axis identifies an XPath axis.
+type Axis uint8
+
+// The XPath axes supported by loop-lifted staircase join. (The attribute
+// axis is handled by the relational algebra layer because its results are
+// attribute rows, not pre|size|level tuples.)
+const (
+	Child Axis = iota
+	Descendant
+	DescendantOrSelf
+	Self
+	Parent
+	Ancestor
+	AncestorOrSelf
+	Following
+	Preceding
+	FollowingSibling
+	PrecedingSibling
+)
+
+func (a Axis) String() string {
+	switch a {
+	case Child:
+		return "child"
+	case Descendant:
+		return "descendant"
+	case DescendantOrSelf:
+		return "descendant-or-self"
+	case Self:
+		return "self"
+	case Parent:
+		return "parent"
+	case Ancestor:
+		return "ancestor"
+	case AncestorOrSelf:
+		return "ancestor-or-self"
+	case Following:
+		return "following"
+	case Preceding:
+		return "preceding"
+	case FollowingSibling:
+		return "following-sibling"
+	case PrecedingSibling:
+		return "preceding-sibling"
+	}
+	return "axis?"
+}
+
+// Reverse reports whether the axis is a reverse axis (results precede the
+// context node in document order).
+func (a Axis) Reverse() bool {
+	switch a {
+	case Parent, Ancestor, AncestorOrSelf, Preceding, PrecedingSibling:
+		return true
+	}
+	return false
+}
+
+// TestKind is the node test of a location step.
+type TestKind uint8
+
+// Node tests.
+const (
+	TestNode    TestKind = iota // node()
+	TestElem                    // element, optionally named
+	TestText                    // text()
+	TestComment                 // comment()
+	TestPI                      // processing-instruction()
+	TestDoc                     // document-node()
+)
+
+// Test is a node test: a kind test plus an optional name test (elements
+// and processing instructions).
+type Test struct {
+	Kind TestKind
+	Name string // "" matches any name
+}
+
+// Pairs is a context or result relation of the loop-lifted staircase join:
+// parallel (pre, iter) columns, sorted lexicographically by (pre, iter).
+type Pairs struct {
+	Pre  []int32
+	Iter []int32
+}
+
+// Len returns the number of pairs.
+func (p *Pairs) Len() int { return len(p.Pre) }
+
+func (p *Pairs) append(pre, iter int32) {
+	p.Pre = append(p.Pre, pre)
+	p.Iter = append(p.Iter, iter)
+}
+
+// SortPairs establishes the (pre, iter) sort order in place.
+func SortPairs(p *Pairs) {
+	s := pairSorter{p}
+	if !sort.IsSorted(s) {
+		sort.Sort(s)
+	}
+}
+
+type pairSorter struct{ p *Pairs }
+
+func (s pairSorter) Len() int { return len(s.p.Pre) }
+func (s pairSorter) Less(i, j int) bool {
+	if s.p.Pre[i] != s.p.Pre[j] {
+		return s.p.Pre[i] < s.p.Pre[j]
+	}
+	return s.p.Iter[i] < s.p.Iter[j]
+}
+func (s pairSorter) Swap(i, j int) {
+	s.p.Pre[i], s.p.Pre[j] = s.p.Pre[j], s.p.Pre[i]
+	s.p.Iter[i], s.p.Iter[j] = s.p.Iter[j], s.p.Iter[i]
+}
+
+// Stats collects the access counters used to verify the
+// |result| + |context| touch bound and to drive the skipping experiments.
+type Stats struct {
+	Touched int64 // document tuples visited (including skip landings)
+	Emitted int64 // result pairs produced
+	Pruned  int64 // context entries removed by pruning
+}
+
+// Variant selects the execution strategy of a step.
+type Variant uint8
+
+// Execution variants (Figure 12's ablation axes).
+const (
+	// LoopLifted evaluates all iterations in one pass (the paper's
+	// contribution).
+	LoopLifted Variant = iota
+	// Iterative runs plain staircase join once per iteration, selecting
+	// each iteration's context nodes from the full context relation —
+	// the pre-loop-lifting baseline.
+	Iterative
+	// CandidateList additionally consumes the element-name index and
+	// only emits nodes on the candidate list (nametest pushdown, §3.2).
+	// It falls back to LoopLifted when the test has no usable index.
+	CandidateList
+)
+
+// Step evaluates one location step over ctx against the document encoding
+// of c and returns the result pairs in (pre, iter) order: within each
+// iteration the result is duplicate-free and in document order.
+func Step(c *store.Container, ctx Pairs, axis Axis, test Test, v Variant, st *Stats) Pairs {
+	if st == nil {
+		st = &Stats{}
+	}
+	var out Pairs
+	switch v {
+	case Iterative:
+		iterative(c, ctx, axis, test, &out, st)
+	case CandidateList:
+		if cand, ok := candidates(c, test); ok {
+			switch axis {
+			case Descendant:
+				candDescendant(c, ctx, cand, &out, st)
+			case DescendantOrSelf:
+				candDescendant(c, ctx, cand, &out, st)
+				var self Pairs
+				llSelf(c, ctx, CompileTest(c, test), &self, st)
+				out = mergePairs(out, self)
+			case Child:
+				candChild(c, ctx, cand, &out, st)
+			default:
+				stepOnce(c, ctx, axis, test, &out, st)
+			}
+		} else {
+			stepOnce(c, ctx, axis, test, &out, st)
+		}
+	default:
+		stepOnce(c, ctx, axis, test, &out, st)
+	}
+	st.Emitted += int64(out.Len())
+	return out
+}
+
+func stepOnce(c *store.Container, ctx Pairs, axis Axis, test Test, out *Pairs, st *Stats) {
+	match := CompileTest(c, test)
+	switch axis {
+	case Child:
+		llChild(c, ctx, match, out, st)
+	case Descendant:
+		llDescendant(c, ctx, match, out, st)
+	case DescendantOrSelf:
+		llDescendant(c, ctx, match, out, st)
+		var self Pairs
+		llSelf(c, ctx, match, &self, st)
+		*out = mergePairs(*out, self)
+	case Self:
+		llSelf(c, ctx, match, out, st)
+	case Parent:
+		llParent(c, ctx, match, out, st)
+	case Ancestor:
+		llAncestor(c, ctx, match, false, out, st)
+	case AncestorOrSelf:
+		llAncestor(c, ctx, match, true, out, st)
+	case Following:
+		llFollowing(c, ctx, match, out, st)
+	case Preceding:
+		llPreceding(c, ctx, match, out, st)
+	case FollowingSibling:
+		llFollowingSibling(c, ctx, match, out, st)
+	case PrecedingSibling:
+		llPrecedingSibling(c, ctx, match, out, st)
+	}
+}
+
+// CompileTest builds a node-test predicate over the rows of c. For
+// containers with shallow-copy indirection the element name is resolved in
+// the referenced container; resolved name ids are cached per container.
+func CompileTest(c *store.Container, t Test) func(pre int32) bool {
+	kindOK := func(k store.NodeKind) bool {
+		switch t.Kind {
+		case TestNode:
+			return k != store.KindUnused
+		case TestElem:
+			return k == store.KindElem
+		case TestText:
+			return k == store.KindText
+		case TestComment:
+			return k == store.KindComment
+		case TestPI:
+			return k == store.KindPI
+		case TestDoc:
+			return k == store.KindDoc
+		}
+		return false
+	}
+	if t.Name == "" || (t.Kind != TestElem && t.Kind != TestPI) {
+		return func(pre int32) bool { return kindOK(c.Kind[pre]) }
+	}
+	if c.RefCont == nil {
+		id, ok := c.Names.Lookup(t.Name)
+		if !ok {
+			return func(int32) bool { return false }
+		}
+		return func(pre int32) bool { return kindOK(c.Kind[pre]) && c.NameID[pre] == id }
+	}
+	// shallow-copy container: resolve names per referenced container
+	name := t.Name
+	return func(pre int32) bool {
+		return kindOK(c.Kind[pre]) && c.NameOf(pre) == name
+	}
+}
+
+// llChild is the child-axis algorithm of Figure 6: a stack of active
+// context nodes, positional skipping over child subtrees, and per-context
+// iteration ranges (fstIter, lstIter).
+func llChild(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
+	type frame struct {
+		eos     int32 // end of the current context's scope (pre + size)
+		nxtChld int32 // next child candidate to process
+		fstIter int32 // first ctx row of this context node
+		lstIter int32 // last ctx row of this context node
+	}
+	var active []frame
+	n := int32(ctx.Len())
+	nxtCtx := int32(0)
+
+	pushCtx := func() {
+		curPre := ctx.Pre[nxtCtx]
+		f := frame{eos: curPre + c.Size[curPre], nxtChld: curPre + 1, fstIter: nxtCtx}
+		for nxtCtx < n && ctx.Pre[nxtCtx] == curPre {
+			nxtCtx++
+		}
+		f.lstIter = nxtCtx - 1
+		active = append(active, f)
+	}
+	innerLoop := func(stop int32) {
+		f := &active[len(active)-1]
+		p := f.nxtChld
+		for p <= stop && p <= f.eos {
+			st.Touched++
+			if c.Level[p] != store.NullLevel && match(p) {
+				for i := f.fstIter; i <= f.lstIter; i++ {
+					out.append(p, ctx.Iter[i])
+				}
+			}
+			p += c.Size[p] + 1
+		}
+		f.nxtChld = p
+	}
+
+	for nxtCtx < n {
+		if len(active) == 0 {
+			pushCtx() // ① start a new partition
+		} else if active[len(active)-1].eos >= ctx.Pre[nxtCtx] {
+			innerLoop(ctx.Pre[nxtCtx]) // ② children up to the next context
+			pushCtx()                  // ③ descend into the next context
+		} else {
+			innerLoop(active[len(active)-1].eos) // ④ finish current context
+			active = active[:len(active)-1]      // ⑤ pop
+		}
+	}
+	for len(active) > 0 {
+		innerLoop(active[len(active)-1].eos) // ⑥ finish remaining scopes
+		active = active[:len(active)-1]      // ⑦ pop
+	}
+}
+
+// llDescendant scans the document once; a stack of active context regions
+// tracks which iterations each visited node belongs to. Context nodes
+// whose iteration is already active are pruned.
+func llDescendant(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
+	type frame struct {
+		eos   int32
+		iters []int32
+	}
+	var frames []frame
+	activeSet := make(map[int32]bool)
+	var active []int32 // sorted merge of all frame iters
+	rebuild := func() {
+		active = active[:0]
+		for _, f := range frames {
+			active = append(active, f.iters...)
+		}
+		sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+	}
+
+	pushAt := func(nxt int32, n int32) int32 {
+		curPre := ctx.Pre[nxt]
+		var iters []int32
+		for nxt < n && ctx.Pre[nxt] == curPre {
+			it := ctx.Iter[nxt]
+			if activeSet[it] {
+				st.Pruned++ // pruning within the same iteration
+			} else {
+				iters = append(iters, it)
+				activeSet[it] = true
+			}
+			nxt++
+		}
+		if len(iters) > 0 {
+			frames = append(frames, frame{eos: curPre + c.Size[curPre], iters: iters})
+			rebuild()
+		}
+		return nxt
+	}
+
+	n := int32(ctx.Len())
+	nxt := int32(0)
+	var p int32
+	for nxt < n || len(frames) > 0 {
+		// pop frames that end before p
+		popped := false
+		for len(frames) > 0 && frames[len(frames)-1].eos < p {
+			for _, it := range frames[len(frames)-1].iters {
+				delete(activeSet, it)
+			}
+			frames = frames[:len(frames)-1]
+			popped = true
+		}
+		if popped {
+			rebuild()
+		}
+		if len(frames) == 0 {
+			if nxt >= n {
+				break
+			}
+			p = ctx.Pre[nxt] // skipping: jump to the next context
+		}
+		if nxt < n && ctx.Pre[nxt] == p {
+			// a context node is itself a descendant of the enclosing
+			// active contexts
+			if len(active) > 0 {
+				st.Touched++
+				if match(p) {
+					for _, it := range active {
+						out.append(p, it)
+					}
+				}
+			}
+			nxt = pushAt(nxt, n)
+			p++
+			continue
+		}
+		// scan until the next event: context boundary or top-of-stack eos
+		stop := frames[len(frames)-1].eos
+		if nxt < n && ctx.Pre[nxt]-1 < stop {
+			stop = ctx.Pre[nxt] - 1
+		}
+		for q := p; q <= stop; q++ {
+			st.Touched++
+			if c.Level[q] == store.NullLevel {
+				q += c.Size[q] // skip unused run
+				continue
+			}
+			if match(q) {
+				for _, it := range active {
+					out.append(q, it)
+				}
+			}
+		}
+		p = stop + 1
+	}
+}
+
+func llSelf(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
+	for i := 0; i < ctx.Len(); i++ {
+		st.Touched++
+		if match(ctx.Pre[i]) {
+			out.append(ctx.Pre[i], ctx.Iter[i])
+		}
+	}
+}
+
+func llParent(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
+	seen := make(map[int64]bool)
+	for i := 0; i < ctx.Len(); i++ {
+		par := c.Parent[ctx.Pre[i]]
+		if par < 0 {
+			continue
+		}
+		st.Touched++
+		if !match(par) {
+			continue
+		}
+		key := int64(par)<<32 | int64(uint32(ctx.Iter[i]))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.append(par, ctx.Iter[i])
+	}
+	SortPairs(out)
+}
+
+// llAncestor walks parent chains. The per-iteration visited set realizes
+// pruning: as soon as an (ancestor, iter) pair repeats, the remaining
+// chain is already emitted.
+func llAncestor(c *store.Container, ctx Pairs, match func(int32) bool, orSelf bool, out *Pairs, st *Stats) {
+	seen := make(map[int64]bool)
+	for i := 0; i < ctx.Len(); i++ {
+		p := ctx.Pre[i]
+		if !orSelf {
+			p = c.Parent[p]
+		}
+		for p >= 0 {
+			st.Touched++
+			key := int64(p)<<32 | int64(uint32(ctx.Iter[i]))
+			if seen[key] {
+				st.Pruned++
+				break
+			}
+			seen[key] = true
+			if match(p) {
+				out.append(p, ctx.Iter[i])
+			}
+			p = c.Parent[p]
+		}
+	}
+	SortPairs(out)
+}
+
+// llFollowing exploits that the following regions of all context nodes of
+// one iteration collapse to a single region starting after the context
+// node with the smallest pre+size (partitioning degenerates to a minimum).
+func llFollowing(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
+	cutoff := make(map[int32]int32) // iter -> smallest pre+size
+	for i := 0; i < ctx.Len(); i++ {
+		end := ctx.Pre[i] + c.Size[ctx.Pre[i]]
+		if cur, ok := cutoff[ctx.Iter[i]]; !ok || end < cur {
+			cutoff[ctx.Iter[i]] = end
+		} else {
+			st.Pruned++
+		}
+	}
+	if len(cutoff) == 0 {
+		return
+	}
+	type ci struct{ cut, iter int32 }
+	cuts := make([]ci, 0, len(cutoff))
+	for it, cut := range cutoff {
+		cuts = append(cuts, ci{cut, it})
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i].cut < cuts[j].cut })
+	var active []int32
+	next := 0
+	start := cuts[0].cut + 1
+	for p := start; p < int32(c.Len()); p++ {
+		for next < len(cuts) && cuts[next].cut < p {
+			active = insertSorted(active, cuts[next].iter)
+			next = next + 1
+		}
+		st.Touched++
+		if c.Level[p] == store.NullLevel {
+			p += c.Size[p]
+			continue
+		}
+		if match(p) {
+			for _, it := range active {
+				out.append(p, it)
+			}
+		}
+	}
+}
+
+// llPreceding mirrors llFollowing: per iteration only the context node
+// with the largest pre matters; node v precedes it iff pre(v)+size(v) <
+// pre(c).
+func llPreceding(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
+	cutoff := make(map[int32]int32) // iter -> largest context pre
+	for i := 0; i < ctx.Len(); i++ {
+		if cur, ok := cutoff[ctx.Iter[i]]; !ok || ctx.Pre[i] > cur {
+			cutoff[ctx.Iter[i]] = ctx.Pre[i]
+		} else {
+			st.Pruned++
+		}
+	}
+	if len(cutoff) == 0 {
+		return
+	}
+	type ci struct{ cut, iter int32 }
+	cuts := make([]ci, 0, len(cutoff))
+	maxCut := int32(0)
+	for it, cut := range cutoff {
+		cuts = append(cuts, ci{cut, it})
+		if cut > maxCut {
+			maxCut = cut
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i].cut < cuts[j].cut })
+	for p := int32(0); p < maxCut; p++ {
+		st.Touched++
+		if c.Level[p] == store.NullLevel {
+			p += c.Size[p]
+			continue
+		}
+		if !match(p) {
+			continue
+		}
+		end := p + c.Size[p]
+		// iterations whose cutoff exceeds end form a suffix of cuts
+		lo := sort.Search(len(cuts), func(i int) bool { return cuts[i].cut > end })
+		for i := lo; i < len(cuts); i++ {
+			out.append(p, cuts[i].iter)
+		}
+	}
+	SortPairs(out)
+}
+
+func llFollowingSibling(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
+	seen := make(map[int64]bool)
+	for i := 0; i < ctx.Len(); i++ {
+		pre := ctx.Pre[i]
+		par := c.Parent[pre]
+		if par < 0 {
+			continue
+		}
+		eos := par + c.Size[par]
+		for v := pre + c.Size[pre] + 1; v <= eos; v += c.Size[v] + 1 {
+			st.Touched++
+			if c.Level[v] == store.NullLevel || !match(v) {
+				continue
+			}
+			key := int64(v)<<32 | int64(uint32(ctx.Iter[i]))
+			if seen[key] {
+				st.Pruned++
+				break // all further siblings already emitted for this iter
+			}
+			seen[key] = true
+			out.append(v, ctx.Iter[i])
+		}
+	}
+	SortPairs(out)
+}
+
+func llPrecedingSibling(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
+	seen := make(map[int64]bool)
+	for i := 0; i < ctx.Len(); i++ {
+		pre := ctx.Pre[i]
+		par := c.Parent[pre]
+		if par < 0 {
+			continue
+		}
+		for v := par + 1; v < pre; v += c.Size[v] + 1 {
+			st.Touched++
+			if c.Level[v] == store.NullLevel || !match(v) {
+				continue
+			}
+			key := int64(v)<<32 | int64(uint32(ctx.Iter[i]))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out.append(v, ctx.Iter[i])
+		}
+	}
+	SortPairs(out)
+}
+
+// iterative is the pre-loop-lifting baseline: plain staircase join is
+// invoked once per iteration; each invocation must first select that
+// iteration's context nodes from the full context relation, and the
+// per-iteration results are concatenated and re-sorted afterwards. This
+// reproduces the repeated-scan cost the loop-lifted algorithm eliminates.
+func iterative(c *store.Container, ctx Pairs, axis Axis, test Test, out *Pairs, st *Stats) {
+	iterSet := make(map[int32]bool)
+	var iters []int32
+	for _, it := range ctx.Iter {
+		if !iterSet[it] {
+			iterSet[it] = true
+			iters = append(iters, it)
+		}
+	}
+	sort.Slice(iters, func(i, j int) bool { return iters[i] < iters[j] })
+	var sub, tmp Pairs
+	for _, it := range iters {
+		sub.Pre = sub.Pre[:0]
+		sub.Iter = sub.Iter[:0]
+		for i := 0; i < ctx.Len(); i++ { // full scan per iteration
+			st.Touched++
+			if ctx.Iter[i] == it {
+				sub.append(ctx.Pre[i], it)
+			}
+		}
+		tmp = Pairs{}
+		stepOnce(c, sub, axis, test, &tmp, st)
+		out.Pre = append(out.Pre, tmp.Pre...)
+		out.Iter = append(out.Iter, tmp.Iter...)
+	}
+	SortPairs(out)
+}
+
+// candidates returns the ascending candidate pre list for a named element
+// test, if the container has an element-name index.
+func candidates(c *store.Container, t Test) ([]int32, bool) {
+	if t.Kind != TestElem || t.Name == "" {
+		return nil, false
+	}
+	return c.ElemIndex(t.Name)
+}
+
+// candDescendant is the predicate-pushdown descendant variant: instead of
+// scanning the document it walks the candidate list, binary-searching past
+// regions that cannot contain results (§3.2).
+func candDescendant(c *store.Container, ctx Pairs, cand []int32, out *Pairs, st *Stats) {
+	const inf = int32(1) << 30
+	type frame struct {
+		eos   int32
+		iters []int32
+	}
+	var frames []frame
+	activeSet := make(map[int32]bool)
+	var active []int32
+	rebuild := func() {
+		active = active[:0]
+		for _, f := range frames {
+			active = append(active, f.iters...)
+		}
+		sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+	}
+	n := int32(ctx.Len())
+	nxt := int32(0)
+	li := 0
+	for nxt < n || len(frames) > 0 {
+		if len(frames) == 0 {
+			// skipping: jump straight past candidates that precede the
+			// next context region
+			li = sort.Search(len(cand), func(i int) bool { return cand[i] > ctx.Pre[nxt] })
+		}
+		topEos, ctxPre, candPre := inf, inf, inf
+		if len(frames) > 0 {
+			topEos = frames[len(frames)-1].eos
+		}
+		if nxt < n {
+			ctxPre = ctx.Pre[nxt]
+		}
+		if li < len(cand) {
+			candPre = cand[li]
+		}
+		switch {
+		case len(frames) > 0 && candPre > topEos && ctxPre > topEos:
+			// current region exhausted: pop
+			for _, it := range frames[len(frames)-1].iters {
+				delete(activeSet, it)
+			}
+			frames = frames[:len(frames)-1]
+			rebuild()
+		case ctxPre <= candPre && ctxPre < inf:
+			// context event: emit the context node itself if it is a
+			// candidate inside enclosing regions, then push
+			if candPre == ctxPre && len(active) > 0 {
+				st.Touched++
+				for _, it := range active {
+					out.append(candPre, it)
+				}
+			}
+			if candPre == ctxPre {
+				li++
+			}
+			var iters []int32
+			for nxt < n && ctx.Pre[nxt] == ctxPre {
+				it := ctx.Iter[nxt]
+				if activeSet[it] {
+					st.Pruned++
+				} else {
+					iters = append(iters, it)
+					activeSet[it] = true
+				}
+				nxt++
+			}
+			if len(iters) > 0 {
+				frames = append(frames, frame{eos: ctxPre + c.Size[ctxPre], iters: iters})
+				rebuild()
+			}
+		default:
+			// candidate event inside the top region
+			st.Touched++
+			for _, it := range active {
+				out.append(candPre, it)
+			}
+			li++
+		}
+	}
+}
+
+// candChild is the candidate-list child variant: candidates inside each
+// context region are located by binary search and filtered by a parent
+// check.
+func candChild(c *store.Container, ctx Pairs, cand []int32, out *Pairs, st *Stats) {
+	i := 0
+	n := ctx.Len()
+	for i < n {
+		pre := ctx.Pre[i]
+		j := i
+		for j < n && ctx.Pre[j] == pre {
+			j++
+		}
+		eos := pre + c.Size[pre]
+		li := sort.Search(len(cand), func(k int) bool { return cand[k] > pre })
+		for ; li < len(cand) && cand[li] <= eos; li++ {
+			st.Touched++
+			if c.Parent[cand[li]] != pre {
+				continue
+			}
+			for k := i; k < j; k++ {
+				out.append(cand[li], ctx.Iter[k])
+			}
+		}
+		i = j
+	}
+	SortPairs(out)
+}
+
+// mergePairs merges two (pre, iter)-sorted pair lists, dropping duplicates.
+func mergePairs(a, b Pairs) Pairs {
+	var out Pairs
+	i, j := 0, 0
+	less := func(p1, i1, p2, i2 int32) bool {
+		if p1 != p2 {
+			return p1 < p2
+		}
+		return i1 < i2
+	}
+	for i < a.Len() || j < b.Len() {
+		switch {
+		case j >= b.Len():
+			out.append(a.Pre[i], a.Iter[i])
+			i++
+		case i >= a.Len():
+			out.append(b.Pre[j], b.Iter[j])
+			j++
+		case a.Pre[i] == b.Pre[j] && a.Iter[i] == b.Iter[j]:
+			out.append(a.Pre[i], a.Iter[i])
+			i++
+			j++
+		case less(a.Pre[i], a.Iter[i], b.Pre[j], b.Iter[j]):
+			out.append(a.Pre[i], a.Iter[i])
+			i++
+		default:
+			out.append(b.Pre[j], b.Iter[j])
+			j++
+		}
+	}
+	return out
+}
+
+func insertSorted(s []int32, v int32) []int32 {
+	i := sort.Search(len(s), func(k int) bool { return s[k] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,203 @@
+package store
+
+import "fmt"
+
+// Builder constructs container rows incrementally in document order. It is
+// used by the shredder, by the XMark document generator, and by the element
+// construction operator of the relational engine (each constructed element
+// is one new fragment in the query's transient container).
+//
+// The zero Builder is not usable; create one with NewBuilder or
+// NewContainerBuilder.
+type Builder struct {
+	c     *Container
+	stack []int32 // open element pres
+	// pending attribute buffers for the innermost open element
+}
+
+// NewContainer returns an empty container with an empty name dictionary.
+// The container is not yet registered with a pool.
+func NewContainer(name string) *Container {
+	return &Container{
+		Name:      name,
+		Names:     NewNames(),
+		attrStart: []int32{0},
+	}
+}
+
+// NewBuilder returns a Builder appending to a fresh container.
+func NewBuilder(name string) *Builder {
+	return &Builder{c: NewContainer(name)}
+}
+
+// NewContainerBuilder returns a Builder appending to an existing container
+// (used to add fragments to a transient container).
+func NewContainerBuilder(c *Container) *Builder {
+	return &Builder{c: c}
+}
+
+// Container returns the container under construction.
+func (b *Builder) Container() *Container { return b.c }
+
+// Depth returns the number of currently open elements.
+func (b *Builder) Depth() int { return len(b.stack) }
+
+func (b *Builder) appendRow(kind NodeKind, nameID, value int32) int32 {
+	c := b.c
+	pre := int32(len(c.Size))
+	var parent, frag int32 = -1, pre
+	level := int32(0)
+	if len(b.stack) > 0 {
+		parent = b.stack[len(b.stack)-1]
+		level = c.Level[parent] + 1
+		frag = c.Frag[parent]
+	}
+	c.Size = append(c.Size, 0)
+	c.Level = append(c.Level, level)
+	c.Kind = append(c.Kind, kind)
+	c.Parent = append(c.Parent, parent)
+	c.Frag = append(c.Frag, frag)
+	c.NameID = append(c.NameID, nameID)
+	c.Value = append(c.Value, value)
+	c.attrStart = append(c.attrStart, int32(len(c.AttrOwner)))
+	if c.RefCont != nil {
+		c.RefCont = append(c.RefCont, c.ID)
+		c.RefPre = append(c.RefPre, pre)
+	}
+	return pre
+}
+
+// StartDoc opens a document root node. It must be the first event and can
+// occur only once per fragment.
+func (b *Builder) StartDoc() int32 {
+	pre := b.appendRow(KindDoc, -1, -1)
+	b.stack = append(b.stack, pre)
+	return pre
+}
+
+// StartElem opens an element node and returns its pre.
+func (b *Builder) StartElem(name string) int32 {
+	pre := b.appendRow(KindElem, b.c.Names.ID(name), -1)
+	b.stack = append(b.stack, pre)
+	return pre
+}
+
+// Attr attaches an attribute to the innermost open element. It must be
+// called before any content is added to that element.
+func (b *Builder) Attr(name, val string) {
+	c := b.c
+	owner := b.stack[len(b.stack)-1]
+	if int32(len(c.Size)) != owner+1 {
+		panic(fmt.Sprintf("store: attribute %q added after content of element %d", name, owner))
+	}
+	c.AttrOwner = append(c.AttrOwner, owner)
+	c.AttrName = append(c.AttrName, c.Names.ID(name))
+	c.AttrVal = append(c.AttrVal, val)
+	c.attrStart[len(c.attrStart)-1] = int32(len(c.AttrOwner))
+}
+
+// Text appends a text node. Empty strings are skipped (no empty text
+// nodes exist in the data model).
+func (b *Builder) Text(s string) int32 {
+	if s == "" {
+		return -1
+	}
+	c := b.c
+	c.Texts = append(c.Texts, s)
+	return b.appendRow(KindText, -1, int32(len(c.Texts)-1))
+}
+
+// Comment appends a comment node.
+func (b *Builder) Comment(s string) int32 {
+	c := b.c
+	c.Texts = append(c.Texts, s)
+	return b.appendRow(KindComment, -1, int32(len(c.Texts)-1))
+}
+
+// PI appends a processing-instruction node with the given target and data.
+func (b *Builder) PI(target, data string) int32 {
+	c := b.c
+	c.Texts = append(c.Texts, data)
+	return b.appendRow(KindPI, c.Names.ID(target), int32(len(c.Texts)-1))
+}
+
+// End closes the innermost open element (or document node), fixing its
+// size property.
+func (b *Builder) End() int32 {
+	pre := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	b.c.Size[pre] = int32(len(b.c.Size)) - pre - 1
+	return pre
+}
+
+// CopyTree appends a shallow copy of the subtree rooted at pre of src as
+// content of the innermost open element (or as a new fragment when nothing
+// is open). Structural rows are copied; properties stay in src and are
+// reached via the cont/ref indirection (paper §5.1). It returns the pre of
+// the copy root in the destination container.
+func (b *Builder) CopyTree(src *Container, pre int32) int32 {
+	c := b.c
+	if c.RefCont == nil {
+		// materialize self-referencing indirection columns lazily
+		n := len(c.Size)
+		c.RefCont = make([]int32, n, n+int(src.Size[pre])+1)
+		c.RefPre = make([]int32, n, n+int(src.Size[pre])+1)
+		for i := 0; i < n; i++ {
+			c.RefCont[i] = c.ID
+			c.RefPre[i] = int32(i)
+		}
+	}
+	base := int32(len(c.Size))
+	var parent, frag int32 = -1, base
+	baseLevel := int32(0)
+	if len(b.stack) > 0 {
+		parent = b.stack[len(b.stack)-1]
+		baseLevel = c.Level[parent] + 1
+		frag = c.Frag[parent]
+	}
+	// resolve the source row's own indirection so chains stay one hop deep
+	end := pre + src.Size[pre]
+	for p := pre; p <= end; p++ {
+		if src.Level[p] == NullLevel {
+			c.Size = append(c.Size, src.Size[p])
+			c.Level = append(c.Level, NullLevel)
+			c.Kind = append(c.Kind, KindUnused)
+			c.Parent = append(c.Parent, -1)
+			c.Frag = append(c.Frag, frag)
+			c.NameID = append(c.NameID, -1)
+			c.Value = append(c.Value, -1)
+			c.RefCont = append(c.RefCont, c.ID)
+			c.RefPre = append(c.RefPre, base+(p-pre))
+			c.attrStart = append(c.attrStart, int32(len(c.AttrOwner)))
+			continue
+		}
+		c.Size = append(c.Size, src.Size[p])
+		c.Level = append(c.Level, baseLevel+src.Level[p]-src.Level[pre])
+		c.Kind = append(c.Kind, src.Kind[p])
+		if p == pre {
+			c.Parent = append(c.Parent, parent)
+		} else {
+			c.Parent = append(c.Parent, base+(src.Parent[p]-pre))
+		}
+		c.Frag = append(c.Frag, frag)
+		c.NameID = append(c.NameID, -1)
+		c.Value = append(c.Value, -1)
+		rc, rp := src.ID, p
+		if src.RefCont != nil {
+			rc, rp = src.RefCont[p], src.RefPre[p]
+		}
+		c.RefCont = append(c.RefCont, rc)
+		c.RefPre = append(c.RefPre, rp)
+		c.attrStart = append(c.attrStart, int32(len(c.AttrOwner)))
+	}
+	return base
+}
+
+// Done finalizes the container (all elements must be closed) and verifies
+// basic invariants.
+func (b *Builder) Done() (*Container, error) {
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("store: %d unclosed elements", len(b.stack))
+	}
+	return b.c, nil
+}

@@ -1,0 +1,397 @@
+// Package store implements the relational XML storage scheme of
+// MonetDB/XQuery: documents are shredded into a pre|size|level table whose
+// preorder rank simultaneously serves as node identity, plus property
+// containers for qualified names, text content and attributes (paper §2 and
+// §5.1).
+//
+// A Container holds one document (a "document container") or all transient
+// nodes constructed during the evaluation of one query (a "transient
+// container"). Transient containers hold many disjoint tree fragments; the
+// frag column keeps them apart. Subtree copies into a transient container
+// are shallow: the structural rows are copied, while the node properties
+// (names, text, attributes) remain in the original container and are
+// reached through the per-row (RefCont, RefPre) indirection — the paper's
+// cont/ref columns.
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeKind is the node-kind property of a pre|size|level row.
+type NodeKind uint8
+
+// Node kinds stored in the kind column.
+const (
+	KindDoc     NodeKind = iota // document root node
+	KindElem                    // element node
+	KindText                    // text node
+	KindComment                 // comment node
+	KindPI                      // processing instruction
+	KindUnused                  // unused tuple on a logical page (level is NULL)
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindDoc:
+		return "document"
+	case KindElem:
+		return "element"
+	case KindText:
+		return "text"
+	case KindComment:
+		return "comment"
+	case KindPI:
+		return "processing-instruction"
+	case KindUnused:
+		return "unused"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// NullLevel is the level value of unused tuples (the relational NULL of the
+// paged update scheme, §5.2).
+const NullLevel int32 = -1
+
+// Container is the relational encoding of a set of XML tree fragments: the
+// pre|size|level backbone plus property containers. All slices are indexed
+// by preorder rank.
+type Container struct {
+	ID   int32  // container id within its Pool
+	Name string // document name ("" for transient containers)
+
+	// Structural backbone.
+	Size   []int32    // number of nodes in the subtree below each node
+	Level  []int32    // depth below the fragment root; NullLevel marks unused tuples
+	Kind   []NodeKind // node kind
+	Parent []int32    // parent pre; -1 for fragment roots
+	Frag   []int32    // pre of the fragment root each node belongs to
+
+	// Property containers. NameID indexes Names for elements and PI
+	// targets; Value indexes Texts for text, comment and PI nodes. Both
+	// are -1 when not applicable.
+	NameID []int32
+	Value  []int32
+	Texts  []string
+
+	// Attribute container, grouped by owner pre in document order.
+	// attrStart[p] .. attrStart[p+1] delimit the attributes of node p.
+	AttrOwner []int32
+	AttrName  []int32
+	AttrVal   []string
+	attrStart []int32
+
+	// Shallow-copy indirection (paper's cont/ref columns). Nil for
+	// document containers: every row references itself. When non-nil,
+	// property lookups for row p are answered by container RefCont[p] at
+	// pre RefPre[p].
+	RefCont []int32
+	RefPre  []int32
+
+	// Names is the qualified-name dictionary of this container.
+	Names *Names
+
+	pool *Pool
+
+	// elemIndex maps element name id -> ascending pres ("nametest
+	// index"), built by BuildIndexes for document containers.
+	elemIndex map[int32][]int32
+}
+
+// Len returns the number of rows in the pre|size|level table.
+func (c *Container) Len() int { return len(c.Size) }
+
+// Pool returns the pool this container is registered with.
+func (c *Container) Pool() *Pool { return c.pool }
+
+// refOf resolves the property indirection of row pre: the container and pre
+// where the node's properties live.
+func (c *Container) refOf(pre int32) (*Container, int32) {
+	if c.RefCont == nil || c.RefCont[pre] == c.ID {
+		return c, ifNil(c.RefPre, pre)
+	}
+	return c.pool.Get(c.RefCont[pre]), c.RefPre[pre]
+}
+
+func ifNil(ref []int32, pre int32) int32 {
+	if ref == nil {
+		return pre
+	}
+	return ref[pre]
+}
+
+// NameOf returns the qualified name of the element or PI target at pre.
+func (c *Container) NameOf(pre int32) string {
+	rc, rp := c.refOf(pre)
+	id := rc.NameID[rp]
+	if id < 0 {
+		return ""
+	}
+	return rc.Names.Name(id)
+}
+
+// TextOf returns the content of a text, comment or PI node at pre.
+func (c *Container) TextOf(pre int32) string {
+	rc, rp := c.refOf(pre)
+	v := rc.Value[rp]
+	if v < 0 {
+		return ""
+	}
+	return rc.Texts[v]
+}
+
+// Attrs returns the attribute rows (in the referenced container) of node
+// pre along with the container holding them.
+func (c *Container) Attrs(pre int32) (ac *Container, lo, hi int32) {
+	rc, rp := c.refOf(pre)
+	return rc, rc.attrStart[rp], rc.attrStart[rp+1]
+}
+
+// AttrCount returns the number of attributes of node pre.
+func (c *Container) AttrCount(pre int32) int {
+	_, lo, hi := c.Attrs(pre)
+	return int(hi - lo)
+}
+
+// AttrByName returns the attribute row of node pre with the given name, or
+// -1 if absent, along with the container holding the attribute.
+func (c *Container) AttrByName(pre int32, name string) (*Container, int32) {
+	ac, lo, hi := c.Attrs(pre)
+	id, ok := ac.Names.Lookup(name)
+	if !ok {
+		return ac, -1
+	}
+	for i := lo; i < hi; i++ {
+		if ac.AttrName[i] == id {
+			return ac, i
+		}
+	}
+	return ac, -1
+}
+
+// StringValue computes the XPath string value of the node at pre: the text
+// content for text/comment/PI nodes, and the concatenation of all
+// descendant text nodes for elements and document nodes.
+func (c *Container) StringValue(pre int32) string {
+	switch c.Kind[pre] {
+	case KindText, KindComment, KindPI:
+		return c.TextOf(pre)
+	}
+	end := pre + c.Size[pre]
+	var buf []byte
+	for p := pre + 1; p <= end; p++ {
+		if c.Kind[p] == KindText {
+			buf = append(buf, c.TextOf(p)...)
+		}
+	}
+	return string(buf)
+}
+
+// Post returns the postorder rank of node pre, recovered from the
+// pre/size/level encoding as post = pre + size - level (paper §2).
+func (c *Container) Post(pre int32) int32 {
+	return pre + c.Size[pre] - c.Level[pre]
+}
+
+// RebuildAttrIndex recomputes the attrStart offsets from the AttrOwner
+// column (which must be grouped by owner in ascending pre order). Callers
+// that assemble the attribute table directly — such as the paged update
+// scheme's view materialization — use this instead of the Builder.
+func (c *Container) RebuildAttrIndex() {
+	n := c.Len()
+	c.attrStart = make([]int32, n+1)
+	a := 0
+	for p := 0; p <= n; p++ {
+		for a < len(c.AttrOwner) && c.AttrOwner[a] < int32(p) {
+			a++
+		}
+		c.attrStart[p] = int32(a)
+	}
+}
+
+// BuildIndexes constructs the element-name posting lists used by the
+// candidate-list ("nametest pushdown") variants of staircase join. The
+// lists hold pres in ascending (document) order.
+func (c *Container) BuildIndexes() {
+	idx := make(map[int32][]int32)
+	for p := 0; p < c.Len(); p++ {
+		if c.Kind[p] == KindElem {
+			rc, rp := c.refOf(int32(p))
+			id := rc.NameID[rp]
+			if rc != c {
+				// remap foreign name id into this container's dictionary
+				id = c.Names.ID(rc.Names.Name(id))
+			}
+			idx[id] = append(idx[id], int32(p))
+		}
+	}
+	c.elemIndex = idx
+}
+
+// ElemIndex returns the ascending pre list of elements named name, and
+// whether an index is available on this container.
+func (c *Container) ElemIndex(name string) ([]int32, bool) {
+	if c.elemIndex == nil {
+		return nil, false
+	}
+	id, ok := c.Names.Lookup(name)
+	if !ok {
+		return nil, true // index exists; name does not occur
+	}
+	return c.elemIndex[id], true
+}
+
+// FragRoots returns the pres of all fragment roots in the container.
+func (c *Container) FragRoots() []int32 {
+	var roots []int32
+	p := int32(0)
+	for p < int32(c.Len()) {
+		if c.Level[p] == NullLevel {
+			p += c.Size[p] + 1
+			continue
+		}
+		roots = append(roots, p)
+		p += c.Size[p] + 1
+	}
+	return roots
+}
+
+// Validate checks the well-formedness invariants of the pre|size|level
+// encoding and the property containers. It is used by tests and by the
+// paged update scheme after structural updates.
+func (c *Container) Validate() error {
+	n := int32(c.Len())
+	if len(c.Level) != int(n) || len(c.Kind) != int(n) || len(c.Parent) != int(n) ||
+		len(c.Frag) != int(n) || len(c.NameID) != int(n) || len(c.Value) != int(n) {
+		return fmt.Errorf("store: ragged container columns")
+	}
+	if len(c.attrStart) != int(n)+1 {
+		return fmt.Errorf("store: attrStart has %d entries, want %d", len(c.attrStart), n+1)
+	}
+	for p := int32(0); p < n; p++ {
+		if c.Size[p] < 0 {
+			return fmt.Errorf("store: node %d has negative size", p)
+		}
+		if c.Level[p] == NullLevel {
+			continue
+		}
+		end := p + c.Size[p]
+		if end >= n {
+			return fmt.Errorf("store: node %d subtree end %d out of range", p, end)
+		}
+		// real children must nest inside the region; unused runs may
+		// extend past the region end (skip loops are bounded by eos)
+		q := p + 1
+		for q <= end {
+			if c.Level[q] != NullLevel {
+				if c.Parent[q] != p {
+					return fmt.Errorf("store: node %d inside region of %d has parent %d", q, p, c.Parent[q])
+				}
+				if c.Level[q] != c.Level[p]+1 {
+					return fmt.Errorf("store: child %d of %d has level %d, want %d", q, p, c.Level[q], c.Level[p]+1)
+				}
+				if q+c.Size[q] > end {
+					return fmt.Errorf("store: child %d of %d overruns region end %d", q, p, end)
+				}
+			}
+			q += c.Size[q] + 1
+		}
+	}
+	if !sort.SliceIsSorted(c.AttrOwner, func(i, j int) bool { return c.AttrOwner[i] < c.AttrOwner[j] }) {
+		return fmt.Errorf("store: attribute table not grouped by owner")
+	}
+	return nil
+}
+
+// Names is a qualified-name dictionary: a bidirectional mapping between
+// names and dense integer ids.
+type Names struct {
+	byName map[string]int32
+	names  []string
+}
+
+// NewNames returns an empty dictionary.
+func NewNames() *Names {
+	return &Names{byName: make(map[string]int32)}
+}
+
+// ID interns name and returns its id.
+func (d *Names) ID(name string) int32 {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := int32(len(d.names))
+	d.names = append(d.names, name)
+	d.byName[name] = id
+	return id
+}
+
+// Lookup returns the id of name without interning it.
+func (d *Names) Lookup(name string) (int32, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the name with the given id.
+func (d *Names) Name(id int32) string { return d.names[id] }
+
+// Len returns the number of interned names.
+func (d *Names) Len() int { return len(d.names) }
+
+// Pool is the registry of containers live in one engine instance: the
+// paper's "loaded documents" table. Container ids index the pool.
+type Pool struct {
+	containers []*Container
+	byName     map[string]*Container
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{byName: make(map[string]*Container)}
+}
+
+// Register adds c to the pool, assigning its id.
+func (p *Pool) Register(c *Container) *Container {
+	c.ID = int32(len(p.containers))
+	c.pool = p
+	p.containers = append(p.containers, c)
+	if c.Name != "" {
+		p.byName[c.Name] = c
+	}
+	return c
+}
+
+// Get returns the container with the given id.
+func (p *Pool) Get(id int32) *Container { return p.containers[id] }
+
+// Replace swaps the container registered under id (used to recycle the
+// per-query transient container without growing the pool).
+func (p *Pool) Replace(id int32, c *Container) *Container {
+	c.ID = id
+	c.pool = p
+	p.containers[id] = c
+	return c
+}
+
+// ByName returns the document container registered under name.
+func (p *Pool) ByName(name string) (*Container, bool) {
+	c, ok := p.byName[name]
+	return c, ok
+}
+
+// Documents returns the names of all registered documents.
+func (p *Pool) Documents() []string {
+	names := make([]string, 0, len(p.byName))
+	for n := range p.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AttrOwnerOf returns the owner pre of attribute row in container cont;
+// it has the signature xqt.DocOrderLess expects.
+func (p *Pool) AttrOwnerOf(cont int32, row int32) int32 {
+	return p.Get(cont).AttrOwner[row]
+}

@@ -1,0 +1,158 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandom constructs a random container from a seed, returning it.
+func buildRandom(seed int64, maxNodes int) *Container {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("rand.xml")
+	b.StartDoc()
+	names := []string{"alpha", "beta", "gamma"}
+	b.StartElem(names[rng.Intn(len(names))])
+	if rng.Intn(2) == 0 {
+		b.Attr("id", fmt.Sprintf("n%d", rng.Intn(100)))
+	}
+	open := 1
+	for i := 0; i < maxNodes; i++ {
+		switch rng.Intn(8) {
+		case 0, 1, 2:
+			b.StartElem(names[rng.Intn(len(names))])
+			if rng.Intn(3) == 0 {
+				b.Attr("k", fmt.Sprintf("%d", rng.Intn(9)))
+			}
+			open++
+		case 3, 4:
+			b.Text(fmt.Sprintf("t%d", rng.Intn(50)))
+		case 5:
+			b.Comment("c")
+		default:
+			if open > 1 {
+				b.End()
+				open--
+			}
+		}
+	}
+	for ; open > 0; open-- {
+		b.End()
+	}
+	b.End() // doc
+	c, err := b.Done()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TestQuickRoundTrip: serialize → shred → serialize is the identity on
+// random documents, and every shred output validates.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		c := buildRandom(seed, 80)
+		if err := c.Validate(); err != nil {
+			t.Logf("seed %d: built container invalid: %v", seed, err)
+			return false
+		}
+		var s1 strings.Builder
+		if err := Serialize(&s1, c, 0); err != nil {
+			return false
+		}
+		c2, err := Shred("r.xml", strings.NewReader(s1.String()), true)
+		if err != nil {
+			t.Logf("seed %d: reshred failed: %v", seed, err)
+			return false
+		}
+		if err := c2.Validate(); err != nil {
+			t.Logf("seed %d: reshred invalid: %v", seed, err)
+			return false
+		}
+		var s2 strings.Builder
+		if err := Serialize(&s2, c2, 0); err != nil {
+			return false
+		}
+		if s1.String() != s2.String() {
+			t.Logf("seed %d:\n a: %s\n b: %s", seed, s1.String(), s2.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCopyTreeFaithful: a shallow copy of any subtree serializes
+// identically to the original subtree.
+func TestQuickCopyTreeFaithful(t *testing.T) {
+	f := func(seed int64, pick uint16) bool {
+		pool := NewPool()
+		src := buildRandom(seed, 60)
+		pool.Register(src)
+		// pick a random element subtree
+		var elems []int32
+		for p := int32(0); p < int32(src.Len()); p++ {
+			if src.Kind[p] == KindElem {
+				elems = append(elems, p)
+			}
+		}
+		if len(elems) == 0 {
+			return true
+		}
+		pre := elems[int(pick)%len(elems)]
+		dst := NewContainer("")
+		pool.Register(dst)
+		b := NewContainerBuilder(dst)
+		b.StartElem("wrap")
+		cp := b.CopyTree(src, pre)
+		b.End()
+		if _, err := b.Done(); err != nil {
+			return false
+		}
+		if err := dst.Validate(); err != nil {
+			t.Logf("seed %d pre %d: copy invalid: %v", seed, pre, err)
+			return false
+		}
+		var a, c strings.Builder
+		Serialize(&a, src, pre)
+		Serialize(&c, dst, cp)
+		if a.String() != c.String() {
+			t.Logf("seed %d pre %d:\n orig %s\n copy %s", seed, pre, a.String(), c.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPostOrderIdentity: post = pre + size - level is a bijection
+// between the non-document nodes and the postorder ranks 0..n-2 (the
+// document node always comes last in postorder) — the paper's §2
+// identity.
+func TestQuickPostOrderIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		c := buildRandom(seed, 80)
+		n := int32(c.Len())
+		if c.Post(0) != n-1 {
+			return false // document node is last in postorder
+		}
+		seen := make(map[int32]bool)
+		for p := int32(1); p < n; p++ {
+			post := c.Post(p)
+			if post < 0 || post >= n-1 || seen[post] {
+				return false
+			}
+			seen[post] = true
+		}
+		return len(seen) == int(n)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Shred parses the XML document read from r into a fresh container using
+// the pre|size|level encoding. The container starts with a document root
+// node at pre 0. Whitespace-only text between elements is preserved only
+// when keepWS is true (the XMark benchmark data carries no significant
+// inter-element whitespace, so the engine shreds with keepWS=false by
+// default, like MonetDB/XQuery's shredder in its standard configuration).
+func Shred(name string, r io.Reader, keepWS bool) (*Container, error) {
+	b := NewBuilder(name)
+	b.StartDoc()
+	dec := xml.NewDecoder(r)
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: shred %s: %w", name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			b.StartElem(qname(t.Name))
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				b.Attr(qname(a.Name), a.Value)
+			}
+			depth++
+		case xml.EndElement:
+			b.End()
+			depth--
+		case xml.CharData:
+			s := string(t)
+			if !keepWS && strings.TrimSpace(s) == "" {
+				continue
+			}
+			if depth > 0 {
+				b.Text(s)
+			}
+		case xml.Comment:
+			b.Comment(string(t))
+		case xml.ProcInst:
+			b.PI(t.Target, string(t.Inst))
+		}
+	}
+	b.End() // close document node
+	c, err := b.Done()
+	if err != nil {
+		return nil, err
+	}
+	if c.Len() < 2 {
+		return nil, fmt.Errorf("store: shred %s: document has no content", name)
+	}
+	return c, nil
+}
+
+func qname(n xml.Name) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	return n.Space + ":" + n.Local
+}
+
+// Serialize writes the subtree rooted at pre as XML text. Document nodes
+// serialize their children. The writer is not flushed or closed.
+func Serialize(w io.Writer, c *Container, pre int32) error {
+	s := serializer{w: w, c: c}
+	s.node(pre)
+	return s.err
+}
+
+type serializer struct {
+	w   io.Writer
+	c   *Container
+	err error
+}
+
+func (s *serializer) write(str string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, str)
+}
+
+func (s *serializer) node(pre int32) {
+	c := s.c
+	switch c.Kind[pre] {
+	case KindDoc:
+		s.children(pre)
+	case KindElem:
+		name := c.NameOf(pre)
+		s.write("<")
+		s.write(name)
+		ac, lo, hi := c.Attrs(pre)
+		for i := lo; i < hi; i++ {
+			s.write(" ")
+			s.write(ac.Names.Name(ac.AttrName[i]))
+			s.write(`="`)
+			s.write(escapeAttr(ac.AttrVal[i]))
+			s.write(`"`)
+		}
+		if !s.hasRealChild(pre) {
+			s.write("/>")
+			return
+		}
+		s.write(">")
+		s.children(pre)
+		s.write("</")
+		s.write(name)
+		s.write(">")
+	case KindText:
+		s.write(escapeText(c.TextOf(pre)))
+	case KindComment:
+		s.write("<!--")
+		s.write(c.TextOf(pre))
+		s.write("-->")
+	case KindPI:
+		s.write("<?")
+		s.write(c.NameOf(pre))
+		s.write(" ")
+		s.write(c.TextOf(pre))
+		s.write("?>")
+	case KindUnused:
+		// skipped
+	}
+}
+
+// hasRealChild reports whether any non-unused tuple lies in the region
+// (regions may contain only unused slack in the paged update scheme).
+func (s *serializer) hasRealChild(pre int32) bool {
+	end := pre + s.c.Size[pre]
+	for p := pre + 1; p <= end; p += s.c.Size[p] + 1 {
+		if s.c.Level[p] != NullLevel {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *serializer) children(pre int32) {
+	end := pre + s.c.Size[pre]
+	p := pre + 1
+	for p <= end {
+		if s.c.Level[p] == NullLevel {
+			p += s.c.Size[p] + 1
+			continue
+		}
+		s.node(p)
+		p += s.c.Size[p] + 1
+	}
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

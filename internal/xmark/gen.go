@@ -1,0 +1,509 @@
+// Package xmark reproduces the XMark benchmark substrate the paper's
+// evaluation (§6) is built on: a deterministic generator for the auction
+// site documents of Schmidt et al.'s xmlgen, and the twenty benchmark
+// queries expressed in the engine's XQuery subset.
+//
+// Scale factor 1.0 corresponds to xmlgen's ~110 MB document with 25500
+// persons, 21750 items, 12000 open and 9750 closed auctions; smaller
+// factors scale all entity counts proportionally (the paper evaluates
+// f ∈ {0.01 … 100}, i.e. 1.1 MB … 11 GB).
+package xmark
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"mxq/internal/naive"
+	"mxq/internal/store"
+)
+
+// Sink consumes the generated document as a stream of events in document
+// order. Attributes accompany the Start event.
+type Sink interface {
+	Start(name string, attrs ...[2]string)
+	Text(s string)
+	End()
+}
+
+// Counts holds the entity counts of one generated document.
+type Counts struct {
+	Persons        int
+	Items          int
+	OpenAuctions   int
+	ClosedAuctions int
+	Categories     int
+}
+
+// CountsFor returns the entity counts at the given scale factor.
+func CountsFor(factor float64) Counts {
+	n := func(base int) int {
+		v := int(float64(base) * factor)
+		if v < 1 {
+			return 1
+		}
+		return v
+	}
+	return Counts{
+		Persons:        n(25500),
+		Items:          n(21750),
+		OpenAuctions:   n(12000),
+		ClosedAuctions: n(9750),
+		Categories:     n(1000),
+	}
+}
+
+// regions lists the six region elements with their share of the items
+// (xmlgen's distribution).
+var regions = []struct {
+	name  string
+	share float64
+}{
+	{"africa", 0.0255}, {"asia", 0.0920}, {"australia", 0.1011},
+	{"europe", 0.2759}, {"namerica", 0.4598}, {"samerica", 0.0457},
+}
+
+var words = strings.Fields(`
+gold hammer duty liege fairies mean judgment doom bell plague custom
+gross festival preparation statue moiety large globe wanton humbly
+frightened warmly accuse silly seek purse valiant ribbon strewn treasure
+malice abroad calf crown greatness faintly elbow sport leisure attempt
+unseen despair holiness path disguised embrace wrinkles butterflies
+pardon obscure groan unfold chamber ancient tide cousins mortal
+proclaim provoke madam pastime arrows warrant threaten preserver glove
+railing breathe savage sovereign garland rotten riot carrion caves
+shipwreck bowl grace iron honesty verity lunatic courtier hood cunning
+office heaven promise dagger sister drown spirit virtues orchard rage
+shepherd remedy dower bridegroom grief herb eye wealth`)
+
+// Generator produces XMark documents deterministically.
+type Generator struct {
+	rng    *rand.Rand
+	counts Counts
+	sink   Sink
+}
+
+// Generate streams an XMark document with the given scale factor and
+// seed into the sink. The same (factor, seed) pair always yields the
+// same document.
+func Generate(sink Sink, factor float64, seed int64) Counts {
+	g := &Generator{rng: rand.New(rand.NewSource(seed)), counts: CountsFor(factor), sink: sink}
+	g.site()
+	return g.counts
+}
+
+func (g *Generator) start(name string, attrs ...[2]string) { g.sink.Start(name, attrs...) }
+func (g *Generator) end()                                  { g.sink.End() }
+func (g *Generator) text(s string)                         { g.sink.Text(s) }
+
+func (g *Generator) elem(name, content string) {
+	g.start(name)
+	g.text(content)
+	g.end()
+}
+
+func (g *Generator) word() string { return words[g.rng.Intn(len(words))] }
+
+func (g *Generator) sentence(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		sb.WriteString(g.word())
+	}
+	return sb.String()
+}
+
+func (g *Generator) date() string {
+	return fmt.Sprintf("%02d/%02d/%4d", 1+g.rng.Intn(12), 1+g.rng.Intn(28), 1998+g.rng.Intn(4))
+}
+
+func (g *Generator) money(max float64) string {
+	return fmt.Sprintf("%.2f", g.rng.Float64()*max)
+}
+
+func (g *Generator) personRef() string { return fmt.Sprintf("person%d", g.rng.Intn(g.counts.Persons)) }
+func (g *Generator) itemRef() string   { return fmt.Sprintf("item%d", g.rng.Intn(g.counts.Items)) }
+func (g *Generator) categoryRef() string {
+	return fmt.Sprintf("category%d", g.rng.Intn(g.counts.Categories))
+}
+
+func (g *Generator) site() {
+	g.start("site")
+	g.regions()
+	g.categories()
+	g.catgraph()
+	g.people()
+	g.openAuctions()
+	g.closedAuctions()
+	g.end()
+}
+
+func (g *Generator) regions() {
+	g.start("regions")
+	next := 0
+	for ri, r := range regions {
+		g.start(r.name)
+		n := int(r.share * float64(g.counts.Items))
+		if ri == len(regions)-1 {
+			n = g.counts.Items - next // exact total
+		}
+		for i := 0; i < n; i++ {
+			g.item(next)
+			next++
+		}
+		g.end()
+	}
+	g.end()
+}
+
+func (g *Generator) item(id int) {
+	g.start("item", [2]string{"id", fmt.Sprintf("item%d", id)})
+	g.elem("location", "United States")
+	g.elem("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5)))
+	g.elem("name", g.sentence(2))
+	g.start("payment")
+	g.text("Creditcard")
+	g.end()
+	g.description(1)
+	g.start("shipping")
+	g.text("Will ship internationally")
+	g.end()
+	for k := g.rng.Intn(3); k >= 0; k-- {
+		g.start("incategory", [2]string{"category", g.categoryRef()})
+		g.end()
+	}
+	g.start("mailbox")
+	for k := g.rng.Intn(2); k > 0; k-- {
+		g.start("mail")
+		g.elem("from", g.sentence(2))
+		g.elem("to", g.sentence(2))
+		g.elem("date", g.date())
+		g.start("text")
+		g.text(g.sentence(8))
+		g.end()
+		g.end()
+	}
+	g.end()
+	g.end()
+}
+
+// description emits <description> with text or nested parlist content;
+// depth 2 guarantees instances of the Q15/Q16 path
+// parlist/listitem/parlist/listitem/text/emph/keyword.
+func (g *Generator) description(maxDepth int) {
+	g.start("description")
+	g.descContent(maxDepth)
+	g.end()
+}
+
+func (g *Generator) descContent(depth int) {
+	if depth <= 0 || g.rng.Float64() < 0.6 {
+		g.richText()
+		return
+	}
+	g.start("parlist")
+	for k := 1 + g.rng.Intn(2); k > 0; k-- {
+		g.start("listitem")
+		g.descContent(depth - 1)
+		g.end()
+	}
+	g.end()
+}
+
+// richText emits a <text> node with occasional bold/keyword/emph inline
+// markup (emph may wrap a keyword — the tail of the Q15 path). Adjacent
+// text events are combined so the direct store sink and the XML round
+// trip produce identical containers.
+func (g *Generator) richText() {
+	g.start("text")
+	lead := g.sentence(3 + g.rng.Intn(6))
+	trail := " " + g.sentence(2)
+	switch g.rng.Intn(4) {
+	case 0:
+		g.text(lead)
+		g.start("bold")
+		g.text(g.word())
+		g.end()
+		g.text(trail)
+	case 1:
+		g.text(lead)
+		g.start("keyword")
+		g.text(g.word())
+		g.end()
+		g.text(trail)
+	case 2:
+		g.text(lead)
+		g.start("emph")
+		g.start("keyword")
+		g.text(g.word())
+		g.end()
+		g.end()
+		g.text(trail)
+	default:
+		g.text(lead + trail)
+	}
+	g.end()
+}
+
+func (g *Generator) categories() {
+	g.start("categories")
+	for i := 0; i < g.counts.Categories; i++ {
+		g.start("category", [2]string{"id", fmt.Sprintf("category%d", i)})
+		g.elem("name", g.sentence(2))
+		g.description(0)
+		g.end()
+	}
+	g.end()
+}
+
+func (g *Generator) catgraph() {
+	g.start("catgraph")
+	for i := 0; i < g.counts.Categories; i++ {
+		g.start("edge", [2]string{"from", g.categoryRef()}, [2]string{"to", g.categoryRef()})
+		g.end()
+	}
+	g.end()
+}
+
+func (g *Generator) people() {
+	g.start("people")
+	for i := 0; i < g.counts.Persons; i++ {
+		g.start("person", [2]string{"id", fmt.Sprintf("person%d", i)})
+		g.elem("name", g.sentence(2))
+		g.elem("emailaddress", fmt.Sprintf("mailto:%s@%s.com", g.word(), g.word()))
+		if g.rng.Float64() < 0.5 {
+			g.elem("phone", fmt.Sprintf("+%d (%d) %d", g.rng.Intn(99), g.rng.Intn(999), g.rng.Intn(9999999)))
+		}
+		if g.rng.Float64() < 0.6 {
+			g.start("address")
+			g.elem("street", fmt.Sprintf("%d %s St", 1+g.rng.Intn(99), g.word()))
+			g.elem("city", g.word())
+			g.elem("country", "United States")
+			g.elem("zipcode", fmt.Sprintf("%d", 10000+g.rng.Intn(89999)))
+			g.end()
+		}
+		if g.rng.Float64() < 0.5 {
+			g.elem("homepage", fmt.Sprintf("http://www.%s.com/~%s", g.word(), g.word()))
+		}
+		if g.rng.Float64() < 0.5 {
+			g.elem("creditcard", fmt.Sprintf("%d %d %d %d", 1000+g.rng.Intn(8999),
+				1000+g.rng.Intn(8999), 1000+g.rng.Intn(8999), 1000+g.rng.Intn(8999)))
+		}
+		if g.rng.Float64() < 0.8 {
+			g.start("profile", [2]string{"income", g.money(200000)})
+			for k := g.rng.Intn(4); k > 0; k-- {
+				g.start("interest", [2]string{"category", g.categoryRef()})
+				g.end()
+			}
+			if g.rng.Float64() < 0.5 {
+				g.elem("education", "Graduate School")
+			}
+			if g.rng.Float64() < 0.7 {
+				g.elem("gender", []string{"male", "female"}[g.rng.Intn(2)])
+			}
+			g.elem("business", []string{"Yes", "No"}[g.rng.Intn(2)])
+			if g.rng.Float64() < 0.6 {
+				g.elem("age", fmt.Sprintf("%d", 18+g.rng.Intn(60)))
+			}
+			g.end()
+		}
+		if g.rng.Float64() < 0.4 {
+			g.start("watches")
+			for k := g.rng.Intn(3); k > 0; k-- {
+				g.start("watch", [2]string{"open_auction", fmt.Sprintf("open%d", g.rng.Intn(g.counts.OpenAuctions))})
+				g.end()
+			}
+			g.end()
+		}
+		g.end()
+	}
+	g.end()
+}
+
+func (g *Generator) openAuctions() {
+	g.start("open_auctions")
+	for i := 0; i < g.counts.OpenAuctions; i++ {
+		g.start("open_auction", [2]string{"id", fmt.Sprintf("open%d", i)})
+		initial := g.rng.Float64() * 100
+		g.elem("initial", fmt.Sprintf("%.2f", initial))
+		if g.rng.Float64() < 0.4 {
+			g.elem("reserve", fmt.Sprintf("%.2f", initial*1.2))
+		}
+		cur := initial
+		for k := g.rng.Intn(5); k > 0; k-- {
+			g.start("bidder")
+			g.elem("date", g.date())
+			g.elem("time", fmt.Sprintf("%02d:%02d:%02d", g.rng.Intn(24), g.rng.Intn(60), g.rng.Intn(60)))
+			g.start("personref", [2]string{"person", g.personRef()})
+			g.end()
+			inc := float64(1+g.rng.Intn(12)) * 1.5
+			cur += inc
+			g.elem("increase", fmt.Sprintf("%.2f", inc))
+			g.end()
+		}
+		g.elem("current", fmt.Sprintf("%.2f", cur))
+		if g.rng.Float64() < 0.5 {
+			g.elem("privacy", "Yes")
+		}
+		g.start("itemref", [2]string{"item", g.itemRef()})
+		g.end()
+		g.start("seller", [2]string{"person", g.personRef()})
+		g.end()
+		g.annotation()
+		g.elem("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5)))
+		g.elem("type", "Regular")
+		g.start("interval")
+		g.elem("start", g.date())
+		g.elem("end", g.date())
+		g.end()
+		g.end()
+	}
+	g.end()
+}
+
+func (g *Generator) annotation() {
+	g.start("annotation")
+	g.start("author", [2]string{"person", g.personRef()})
+	g.end()
+	g.description(2)
+	g.elem("happiness", fmt.Sprintf("%d", 1+g.rng.Intn(10)))
+	g.end()
+}
+
+func (g *Generator) closedAuctions() {
+	g.start("closed_auctions")
+	for i := 0; i < g.counts.ClosedAuctions; i++ {
+		g.start("closed_auction")
+		g.start("seller", [2]string{"person", g.personRef()})
+		g.end()
+		g.start("buyer", [2]string{"person", g.personRef()})
+		g.end()
+		g.start("itemref", [2]string{"item", g.itemRef()})
+		g.end()
+		g.elem("price", g.money(200))
+		g.elem("date", g.date())
+		g.elem("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5)))
+		g.elem("type", "Regular")
+		g.annotation()
+		g.end()
+	}
+	g.end()
+}
+
+// --- sinks ---------------------------------------------------------------
+
+// StoreSink shreds generated events directly into a container.
+type StoreSink struct{ B *store.Builder }
+
+// NewStoreContainer generates an XMark document straight into a fresh
+// container (bypassing XML text).
+func NewStoreContainer(name string, factor float64, seed int64) *store.Container {
+	b := store.NewBuilder(name)
+	b.StartDoc()
+	Generate(&StoreSink{B: b}, factor, seed)
+	b.End()
+	c, err := b.Done()
+	if err != nil {
+		panic("xmark: generator produced unbalanced events: " + err.Error())
+	}
+	return c
+}
+
+// Start implements Sink.
+func (s *StoreSink) Start(name string, attrs ...[2]string) {
+	s.B.StartElem(name)
+	for _, a := range attrs {
+		s.B.Attr(a[0], a[1])
+	}
+}
+
+// Text implements Sink.
+func (s *StoreSink) Text(t string) { s.B.Text(t) }
+
+// End implements Sink.
+func (s *StoreSink) End() { s.B.End() }
+
+// DOMSink builds a naive-interpreter DOM.
+type DOMSink struct{ B *naive.Builder }
+
+// NewDOM generates an XMark document as a naive-interpreter DOM tree.
+func NewDOM(factor float64, seed int64, ord *int64) *naive.Node {
+	b := naive.NewBuilder(ord)
+	b.StartDoc()
+	Generate(&DOMSink{B: b}, factor, seed)
+	b.End()
+	return b.Root()
+}
+
+// Start implements Sink.
+func (s *DOMSink) Start(name string, attrs ...[2]string) {
+	s.B.StartElem(name)
+	for _, a := range attrs {
+		s.B.Attr(a[0], a[1])
+	}
+}
+
+// Text implements Sink.
+func (s *DOMSink) Text(t string) { s.B.Text(t) }
+
+// End implements Sink.
+func (s *DOMSink) End() { s.B.End() }
+
+// XMLSink serializes generated events as XML text.
+type XMLSink struct {
+	W     io.Writer
+	err   error
+	esc   *strings.Replacer
+	stack []string
+}
+
+// NewXMLSink returns a sink writing XML text to w.
+func NewXMLSink(w io.Writer) *XMLSink {
+	return &XMLSink{W: w, esc: strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")}
+}
+
+// WriteXML generates an XMark document as XML text.
+func WriteXML(w io.Writer, factor float64, seed int64) error {
+	s := NewXMLSink(w)
+	Generate(s, factor, seed)
+	return s.err
+}
+
+func (s *XMLSink) write(str string) {
+	if s.err == nil {
+		_, s.err = io.WriteString(s.W, str)
+	}
+}
+
+// Start implements Sink.
+func (s *XMLSink) Start(name string, attrs ...[2]string) {
+	s.write("<")
+	s.write(name)
+	for _, a := range attrs {
+		s.write(" ")
+		s.write(a[0])
+		s.write(`="`)
+		s.write(s.esc.Replace(a[1]))
+		s.write(`"`)
+	}
+	s.write(">")
+	s.stack = append(s.stack, name)
+}
+
+// Text implements Sink.
+func (s *XMLSink) Text(t string) { s.write(s.esc.Replace(t)) }
+
+// End implements Sink.
+func (s *XMLSink) End() {
+	name := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	s.write("</")
+	s.write(name)
+	s.write(">")
+}
+
+// Err returns the first write error.
+func (s *XMLSink) Err() error { return s.err }

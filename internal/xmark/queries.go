@@ -1,0 +1,138 @@
+package xmark
+
+// Queries holds the twenty XMark benchmark queries (Schmidt et al., VLDB
+// 2002) in the engine's XQuery subset. They follow the published query
+// set; the only adaptations are the use of absolute paths against the
+// context document (instead of a bound document variable) and plain
+// element names in Q10's output.
+var Queries = [20]string{
+	// Q1 — exact match: the name of the person with id person0.
+	`for $b in /site/people/person[@id = "person0"] return $b/name/text()`,
+
+	// Q2 — ordered access: the initial increase of every open auction.
+	`for $b in /site/open_auctions/open_auction
+	 return <increase>{$b/bidder[1]/increase/text()}</increase>`,
+
+	// Q3 — tail access: auctions whose first bid doubled.
+	`for $b in /site/open_auctions/open_auction
+	 where zero-or-one($b/bidder[1]/increase/text()) * 2 <= $b/bidder[last()]/increase/text()
+	 return <increase first="{$b/bidder[1]/increase/text()}"
+	                  last="{$b/bidder[last()]/increase/text()}"/>`,
+
+	// Q4 — document order: auctions where person20 bid before person51.
+	`for $b in /site/open_auctions/open_auction
+	 where some $pr1 in $b/bidder/personref[@person = "person20"],
+	            $pr2 in $b/bidder/personref[@person = "person51"]
+	       satisfies $pr1 << $pr2
+	 return <history>{$b/initial/text()}</history>`,
+
+	// Q5 — exact match on values: how many sold items cost more than 40.
+	`count(for $i in /site/closed_auctions/closed_auction
+	       where $i/price/text() >= 40
+	       return $i/price)`,
+
+	// Q6 — regular path expressions: items per region.
+	`for $b in /site/regions return count($b//item)`,
+
+	// Q7 — regular path expressions: all pieces of prose.
+	`for $p in /site
+	 return count($p//description) + count($p//annotation) + count($p//emailaddress)`,
+
+	// Q8 — value joins: items bought per person.
+	`for $p in /site/people/person
+	 let $a := for $t in /site/closed_auctions/closed_auction
+	           where $t/buyer/@person = $p/@id
+	           return $t
+	 return <item person="{$p/name/text()}">{count($a)}</item>`,
+
+	// Q9 — value joins with two joins: European items bought per person.
+	`for $p in /site/people/person
+	 let $a := for $t in /site/closed_auctions/closed_auction
+	           where $p/@id = $t/buyer/@person
+	           return let $n := for $t2 in /site/regions/europe/item
+	                            where $t/itemref/@item = $t2/@id
+	                            return $t2
+	                  return <item>{$n/name/text()}</item>
+	 return <person name="{$p/name/text()}">{$a}</person>`,
+
+	// Q10 — construction: group persons by interest category.
+	`for $i in distinct-values(/site/people/person/profile/interest/@category)
+	 let $p := for $t in /site/people/person
+	           where $t/profile/interest/@category = $i
+	           return <personne>
+	                    <statistiques>
+	                      <sexe>{$t/profile/gender/text()}</sexe>
+	                      <age>{$t/profile/age/text()}</age>
+	                      <education>{$t/profile/education/text()}</education>
+	                      <revenu>{$t/profile/@income}</revenu>
+	                    </statistiques>
+	                    <coordonnees>
+	                      <nom>{$t/name/text()}</nom>
+	                      <ville>{$t/address/city/text()}</ville>
+	                      <pays>{$t/address/country/text()}</pays>
+	                      <courrier>{$t/emailaddress/text()}</courrier>
+	                    </coordonnees>
+	                    <cartePaiement>{$t/creditcard/text()}</cartePaiement>
+	                  </personne>
+	 return <categorie><id>{$i}</id>{$p}</categorie>`,
+
+	// Q11 — theta join: open auctions a person's income covers 5000-fold.
+	`for $p in /site/people/person
+	 let $l := for $i in /site/open_auctions/open_auction/initial
+	           where $p/profile/@income > 5000 * exactly-one($i/text())
+	           return $i
+	 return <items name="{$p/name/text()}">{count($l)}</items>`,
+
+	// Q12 — theta join with range restriction.
+	`for $p in /site/people/person
+	 let $l := for $i in /site/open_auctions/open_auction/initial
+	           where $p/profile/@income > 5000 * exactly-one($i/text())
+	           return $i
+	 where $p/profile/@income > 50000
+	 return <items person="{$p/profile/@income}">{count($l)}</items>`,
+
+	// Q13 — reconstruction: Australian items with their descriptions.
+	`for $i in /site/regions/australia/item
+	 return <item name="{$i/name/text()}">{$i/description}</item>`,
+
+	// Q14 — full text flavour: items whose description mentions gold.
+	`for $i in /site//item
+	 where contains(string(exactly-one($i/description)), "gold")
+	 return $i/name/text()`,
+
+	// Q15 — long path traversal.
+	`for $a in /site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()
+	 return <text>{$a}</text>`,
+
+	// Q16 — long path in a condition.
+	`for $a in /site/closed_auctions/closed_auction
+	 where not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()))
+	 return <person id="{$a/seller/@person}"/>`,
+
+	// Q17 — missing elements: persons without a homepage.
+	`for $p in /site/people/person
+	 where empty($p/homepage/text())
+	 return <person name="{$p/name/text()}"/>`,
+
+	// Q18 — user-defined functions: currency conversion of reserves.
+	`declare function local:convert($v) { 2.20371 * $v };
+	 for $i in /site/open_auctions/open_auction
+	 return local:convert(zero-or-one($i/reserve/text()))`,
+
+	// Q19 — order by: items sorted by location.
+	`for $b in /site/regions//item
+	 let $k := $b/name/text()
+	 order by zero-or-one($b/location) ascending
+	 return <item name="{$k}">{$b/location/text()}</item>`,
+
+	// Q20 — aggregation with ranges: income brackets.
+	`<result>
+	   <preferred>{count(/site/people/person/profile[@income >= 100000])}</preferred>
+	   <standard>{count(/site/people/person/profile[@income < 100000 and @income >= 30000])}</standard>
+	   <challenge>{count(/site/people/person/profile[@income < 30000])}</challenge>
+	   <na>{count(for $p in /site/people/person where empty($p/profile/@income) return $p)}</na>
+	 </result>`,
+}
+
+// Query returns the 1-based XMark query text.
+func Query(n int) string { return Queries[n-1] }

@@ -1,0 +1,155 @@
+package xmark
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mxq/internal/core"
+	"mxq/internal/naive"
+	"mxq/internal/store"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteXML(&a, 0.001, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteXML(&b, 0.001, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("generator is not deterministic")
+	}
+	var c bytes.Buffer
+	if err := WriteXML(&c, 0.001, 43); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestGeneratorWellFormedAndSinksAgree(t *testing.T) {
+	var xmlText bytes.Buffer
+	if err := WriteXML(&xmlText, 0.002, 7); err != nil {
+		t.Fatal(err)
+	}
+	// shredding the XML text must equal building the container directly
+	viaText, err := store.Shred("x.xml", bytes.NewReader(xmlText.Bytes()), false)
+	if err != nil {
+		t.Fatalf("generated document is not well-formed: %v", err)
+	}
+	direct := NewStoreContainer("x.xml", 0.002, 7)
+	if viaText.Len() != direct.Len() {
+		t.Fatalf("sink mismatch: %d rows via text, %d direct", viaText.Len(), direct.Len())
+	}
+	var s1, s2 strings.Builder
+	store.Serialize(&s1, viaText, 0)
+	store.Serialize(&s2, direct, 0)
+	if s1.String() != s2.String() {
+		t.Fatal("text and direct store sinks disagree")
+	}
+	if err := direct.Validate(); err != nil {
+		t.Fatalf("direct container invalid: %v", err)
+	}
+}
+
+func TestGeneratedStructure(t *testing.T) {
+	eng := core.New(core.DefaultConfig())
+	eng.LoadContainer("auction.xml", NewStoreContainer("auction.xml", 0.003, 1))
+	counts := CountsFor(0.003)
+	checks := map[string]int{
+		`count(/site/people/person)`:                  counts.Persons,
+		`count(/site/regions//item)`:                  counts.Items,
+		`count(/site/open_auctions/open_auction)`:     counts.OpenAuctions,
+		`count(/site/closed_auctions/closed_auction)`: counts.ClosedAuctions,
+		`count(/site/categories/category)`:            counts.Categories,
+		`count(/site/people/person[@id = "person0"])`: 1,
+	}
+	for q, want := range checks {
+		got, err := eng.QueryString(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if got != itoa(want) {
+			t.Errorf("%s = %s, want %d", q, got, want)
+		}
+	}
+	// the deep Q15 path must have instances
+	got, err := eng.QueryString(`count(/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == "0" {
+		t.Error("generator produced no deep parlist structures for Q15")
+	}
+	// "gold" must occur in some item description (Q14)
+	got, err = eng.QueryString(`count(for $i in /site//item where contains(string(exactly-one($i/description)), "gold") return $i)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == "0" {
+		t.Error(`generator produced no "gold" descriptions for Q14`)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestXMarkQueriesDifferential is the flagship correctness test: all 20
+// XMark queries evaluated by the relational engine (full optimizations
+// and ablation configurations) must agree with the naive interpreter.
+func TestXMarkQueriesDifferential(t *testing.T) {
+	const factor, seed = 0.002, 11
+	cont := NewStoreContainer("auction.xml", factor, seed)
+
+	oracle := naive.New()
+	oracle.LoadContainer("auction.xml", cont)
+
+	cfgs := map[string]core.Config{
+		"full":      core.DefaultConfig(),
+		"nojoinrec": func() core.Config { c := core.DefaultConfig(); c.Compiler.JoinRecognition = false; return c }(),
+		"noorder":   func() core.Config { c := core.DefaultConfig(); c.OrderAware = false; return c }(),
+	}
+	want := make([]string, 20)
+	for i := 0; i < 20; i++ {
+		w, err := oracle.QueryString(Queries[i])
+		if err != nil {
+			t.Fatalf("oracle failed on Q%d: %v", i+1, err)
+		}
+		want[i] = w
+	}
+	for cname, cfg := range cfgs {
+		eng := core.New(cfg)
+		eng.LoadContainer("auction.xml", cont)
+		for i := 0; i < 20; i++ {
+			got, err := eng.QueryString(Queries[i])
+			if err != nil {
+				t.Errorf("[%s] Q%d: %v", cname, i+1, err)
+				continue
+			}
+			if got != want[i] {
+				g, w := got, want[i]
+				if len(g) > 400 {
+					g = g[:400] + "..."
+				}
+				if len(w) > 400 {
+					w = w[:400] + "..."
+				}
+				t.Errorf("[%s] Q%d mismatch:\n got  %s\n want %s", cname, i+1, g, w)
+			}
+		}
+	}
+}

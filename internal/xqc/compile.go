@@ -1,0 +1,699 @@
+// Package xqc is the loop-lifting XQuery-to-relational-algebra compiler of
+// the engine — the reproduction of the Pathfinder compilation scheme the
+// paper builds on (§2.1): every XQuery expression compiles to a plan
+// producing an iter|pos|item table relative to the loop relation of its
+// scope; for-loops introduce new loops via dense row numbering (ρ) and
+// scope map relations; conditionals split loops with selections;
+// general comparisons compile to existential joins; and when the two
+// sides of a comparison depend on disjoint loop variables, the compiler
+// replaces the loop-lifted Cartesian product with a theta-join over the
+// two key tables (the paper's join recognition, §4.1–4.2).
+package xqc
+
+import (
+	"fmt"
+
+	"mxq/internal/ralg"
+	"mxq/internal/scj"
+	"mxq/internal/xqp"
+	"mxq/internal/xqt"
+)
+
+// Options control the compilation strategies under study in the paper's
+// ablation experiments (Figures 12–14).
+type Options struct {
+	// JoinRecognition replaces loop-lifted Cartesian products with
+	// theta-joins when variable dependences prove independence (Fig. 13).
+	JoinRecognition bool
+	// ChildVariant / DescVariant select the staircase-join execution
+	// strategy for child and descendant steps (Fig. 12).
+	ChildVariant scj.Variant
+	DescVariant  scj.Variant
+	// NametestPushdown pushes element name tests below location steps
+	// using the element-name index (Fig. 12's "nametest" configuration).
+	NametestPushdown bool
+}
+
+// DefaultOptions is the full-strength configuration.
+func DefaultOptions() Options {
+	return Options{
+		JoinRecognition:  true,
+		ChildVariant:     scj.LoopLifted,
+		DescVariant:      scj.LoopLifted,
+		NametestPushdown: true,
+	}
+}
+
+// Compiler compiles one parsed module.
+type Compiler struct {
+	opts       Options
+	defaultDoc string
+	funcs      map[string]*xqp.FuncDecl
+	inlining   map[string]bool // UDFs on the inline stack (recursion guard)
+}
+
+// Compile compiles a module to a physical plan whose result table is the
+// iter|pos|item encoding of the query result (a single iteration).
+// defaultDoc names the context document of absolute paths.
+func Compile(m *xqp.Module, defaultDoc string, opts Options) (ralg.Plan, error) {
+	c := &Compiler{
+		opts:       opts,
+		defaultDoc: defaultDoc,
+		funcs:      make(map[string]*xqp.FuncDecl),
+		inlining:   make(map[string]bool),
+	}
+	for _, f := range m.Funcs {
+		c.funcs[f.Name] = f
+	}
+	sc := &scope{loop: litLoop1(), vars: map[string]*binding{}, loopVars: varset{}}
+	return c.compile(m.Body, sc)
+}
+
+// varset is a set of for-variable names.
+type varset map[string]bool
+
+func (v varset) clone() varset {
+	out := make(varset, len(v))
+	for k := range v {
+		out[k] = true
+	}
+	return out
+}
+
+func (v varset) union(o varset) varset {
+	out := v.clone()
+	for k := range o {
+		out[k] = true
+	}
+	return out
+}
+
+func (v varset) intersects(o varset) bool {
+	for k := range v {
+		if o[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// binding is a variable's compiled representation relative to its scope's
+// loop, plus the loop variables its value depends on (used for join
+// recognition — the paper's indep property).
+type binding struct {
+	plan ralg.Plan
+	deps varset
+}
+
+// scope is a compilation scope: the loop relation and the visible
+// variable bindings (all relative to that loop).
+type scope struct {
+	loop     ralg.Plan
+	vars     map[string]*binding
+	loopVars varset // all for-variables lifted into this loop
+}
+
+func (sc *scope) clone() *scope {
+	vars := make(map[string]*binding, len(sc.vars))
+	for k, v := range sc.vars {
+		vars[k] = v
+	}
+	return &scope{loop: sc.loop, vars: vars, loopVars: sc.loopVars.clone()}
+}
+
+// --- small plan constructors -------------------------------------------
+
+func seqSchema() ([]string, []ralg.ColKind) {
+	return []string{"iter", "pos", "item"},
+		[]ralg.ColKind{ralg.KInt, ralg.KInt, ralg.KItem}
+}
+
+func emptySeq() ralg.Plan {
+	names, kinds := seqSchema()
+	return &ralg.Lit{Tab: ralg.NewTable(names, kinds)}
+}
+
+func litLoop1() ralg.Plan {
+	t := ralg.NewTable([]string{"iter"}, []ralg.ColKind{ralg.KInt})
+	t.N = 1
+	t.Col("iter").Int = []int64{1}
+	return &ralg.Lit{Tab: t}
+}
+
+// litSeq lifts a constant item over the loop: loop × {⟨1, it⟩}.
+func litSeq(loop ralg.Plan, it xqt.Item) ralg.Plan {
+	p := ralg.AttachInt(ralg.NewProject(loop, "iter"), "pos", 1)
+	return ralg.NewProject(ralg.AttachItem(p, "item", it), "iter", "pos", "item")
+}
+
+// boolSeq converts a dense (iter, val) boolean relation into an
+// iter|pos|item sequence of xs:boolean singletons.
+func boolSeq(b ralg.Plan) ralg.Plan {
+	p := &ralg.ColToItem{Src: "val", Dst: "item"}
+	p.SetInput(0, b)
+	q := ralg.AttachInt(p, "pos", 1)
+	return ralg.NewProject(q, "iter", "pos", "item")
+}
+
+// firstItem keeps the first item of each iteration (pos = 1), matching
+// the naive interpreter's singleton coercion for arithmetic operands.
+func firstItem(q ralg.Plan) ralg.Plan {
+	f := ralg.NewFun(ralg.AttachInt(q, "one", 1), ralg.FunEq, "keep", "pos", "one")
+	sel := &ralg.Select{Cond: "keep"}
+	sel.SetInput(0, f)
+	return ralg.NewProject(sel, "iter", "pos", "item")
+}
+
+// liftVars maps every binding of sc through the scope map (outer, inner):
+// the new bindings are relative to the loop the map's inner column ranges
+// over. The map plan must be sorted on inner.
+func liftVars(sc *scope, mapPlan ralg.Plan, newLoop ralg.Plan) *scope {
+	out := &scope{loop: newLoop, vars: make(map[string]*binding, len(sc.vars)), loopVars: sc.loopVars.clone()}
+	for name, b := range sc.vars {
+		j := ralg.NewHashJoin(mapPlan, b.plan, "outer", "iter",
+			ralg.Refs("inner->iter"), ralg.Refs("pos", "item"))
+		out.vars[name] = &binding{plan: ralg.NewProject(j, "iter", "pos", "item"), deps: b.deps}
+	}
+	return out
+}
+
+// restrictScope semi-joins every binding (and the loop) with subLoop.
+func restrictScope(sc *scope, subLoop ralg.Plan) *scope {
+	out := &scope{loop: subLoop, vars: make(map[string]*binding, len(sc.vars)), loopVars: sc.loopVars.clone()}
+	for name, b := range sc.vars {
+		j := ralg.NewHashJoin(b.plan, subLoop, "iter", "iter",
+			ralg.Refs("iter", "pos", "item"), nil)
+		out.vars[name] = &binding{plan: j, deps: b.deps}
+	}
+	return out
+}
+
+// densifyBool completes a partial (iter, val) relation to all iterations
+// of loop, filling absent iterations with the given default.
+func densifyBool(partial, loop ralg.Plan, def bool) ralg.Plan {
+	d := &ralg.Diff{LKey: "iter", RKey: "iter"}
+	d.SetInput(0, ralg.NewProject(loop, "iter"))
+	d.SetInput(1, partial)
+	filled := &ralg.Attach{Col: "val", Kind: ralg.KBool, B: def}
+	filled.SetInput(0, d)
+	u := &ralg.Union{Ins: []ralg.Plan{ralg.NewProject(partial, "iter", "val"), ralg.NewProject(filled, "iter", "val")}}
+	return ralg.NewSort(u, "iter")
+}
+
+// --- dependence analysis (the indep property) ---------------------------
+
+// depsOf computes the set of loop variables the value of e depends on,
+// given the bindings visible in sc. Locally introduced variables (inner
+// FLWOR/quantifier bindings) are resolved to the dependences of their
+// binding sequences.
+func (c *Compiler) depsOf(e xqp.Expr, sc *scope) varset {
+	env := make(map[string]varset, len(sc.vars))
+	for name, b := range sc.vars {
+		env[name] = b.deps
+	}
+	return c.depsWalk(e, env)
+}
+
+func (c *Compiler) depsWalk(e xqp.Expr, env map[string]varset) varset {
+	out := varset{}
+	switch x := e.(type) {
+	case nil:
+		return out
+	case *xqp.Literal, *xqp.EmptySeq:
+		return out
+	case *xqp.VarRef:
+		if d, ok := env[x.Name]; ok {
+			return d.clone()
+		}
+		return out
+	case *xqp.ContextItem:
+		if d, ok := env["."]; ok {
+			return d.clone()
+		}
+		return out
+	case *xqp.Seq:
+		for _, it := range x.Items {
+			out = out.union(c.depsWalk(it, env))
+		}
+	case *xqp.If:
+		out = c.depsWalk(x.Cond, env).union(c.depsWalk(x.Then, env)).union(c.depsWalk(x.Else, env))
+	case *xqp.Binary:
+		out = c.depsWalk(x.L, env).union(c.depsWalk(x.R, env))
+	case *xqp.Unary:
+		out = c.depsWalk(x.X, env)
+	case *xqp.Path:
+		for _, s := range x.Steps {
+			if s.Expr != nil {
+				out = out.union(c.depsWalk(s.Expr, env))
+			}
+			for _, p := range s.Preds {
+				out = out.union(c.depsWalk(p, env))
+			}
+		}
+	case *xqp.Call:
+		for _, a := range x.Args {
+			out = out.union(c.depsWalk(a, env))
+		}
+		if f, ok := c.funcs[x.Name]; ok {
+			// the body may reference parameters; parameters inherit the
+			// argument dependences which are already unioned above
+			sub := make(map[string]varset, len(f.Params))
+			for _, p := range f.Params {
+				sub[p] = varset{}
+			}
+			out = out.union(c.depsWalk(f.Body, sub))
+		}
+	case *xqp.FLWOR:
+		local := cloneEnv(env)
+		for _, cl := range x.Clauses {
+			switch cl.Kind {
+			case xqp.ClauseFor, xqp.ClauseLet:
+				d := c.depsWalk(cl.Expr, local)
+				out = out.union(d)
+				local[cl.Var] = d
+				if cl.Pos != "" {
+					local[cl.Pos] = d
+				}
+			case xqp.ClauseWhere:
+				out = out.union(c.depsWalk(cl.Expr, local))
+			case xqp.ClauseOrder:
+				for _, k := range cl.Keys {
+					out = out.union(c.depsWalk(k.Expr, local))
+				}
+			}
+		}
+		out = out.union(c.depsWalk(x.Return, local))
+	case *xqp.Quantified:
+		local := cloneEnv(env)
+		for i := range x.Vars {
+			d := c.depsWalk(x.Seqs[i], local)
+			out = out.union(d)
+			local[x.Vars[i]] = d
+		}
+		out = out.union(c.depsWalk(x.Satisfies, local))
+	case *xqp.ElemCtor:
+		for _, a := range x.Attrs {
+			for _, p := range a.Parts {
+				out = out.union(c.depsWalk(p, env))
+			}
+		}
+		for _, p := range x.Content {
+			out = out.union(c.depsWalk(p, env))
+		}
+	}
+	return out
+}
+
+func cloneEnv(env map[string]varset) map[string]varset {
+	out := make(map[string]varset, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// --- expression compilation ---------------------------------------------
+
+// compile translates e into a plan producing iter|pos|item sorted on
+// [iter, pos], relative to sc.loop.
+func (c *Compiler) compile(e xqp.Expr, sc *scope) (ralg.Plan, error) {
+	switch x := e.(type) {
+	case *xqp.Literal:
+		switch x.Kind {
+		case xqp.LitInt:
+			return litSeq(sc.loop, xqt.Int(x.I)), nil
+		case xqp.LitDouble:
+			return litSeq(sc.loop, xqt.Double(x.F)), nil
+		default:
+			return litSeq(sc.loop, xqt.Str(x.S)), nil
+		}
+	case *xqp.EmptySeq:
+		return emptySeq(), nil
+	case *xqp.VarRef:
+		b, ok := sc.vars[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("xquery error XPST0008: undeclared variable $%s", x.Name)
+		}
+		return b.plan, nil
+	case *xqp.ContextItem:
+		b, ok := sc.vars["."]
+		if !ok {
+			return nil, fmt.Errorf("xquery error XPDY0002: no context item")
+		}
+		return b.plan, nil
+	case *xqp.Seq:
+		return c.compileSeqList(x.Items, sc)
+	case *xqp.If:
+		return c.compileIf(x, sc)
+	case *xqp.FLWOR:
+		return c.compileFLWOR(x, sc)
+	case *xqp.Quantified:
+		b, err := c.compileBool(x, sc)
+		if err != nil {
+			return nil, err
+		}
+		return boolSeq(b), nil
+	case *xqp.Binary:
+		return c.compileBinary(x, sc)
+	case *xqp.Unary:
+		q, err := c.compile(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		f := ralg.NewFun(firstItem(q), ralg.FunNeg, "negv", "item")
+		return ralg.NewProject(f, "iter", "pos", "negv->item"), nil
+	case *xqp.Path:
+		return c.compilePath(x, sc)
+	case *xqp.Call:
+		return c.compileCall(x, sc)
+	case *xqp.ElemCtor:
+		return c.compileCtor(x, sc)
+	}
+	return nil, fmt.Errorf("xqc: unhandled expression %T", e)
+}
+
+// compileSeqList concatenates subexpression results, re-deriving pos via ρ
+// over (branch ordinal, pos) per iteration.
+func (c *Compiler) compileSeqList(items []xqp.Expr, sc *scope) (ralg.Plan, error) {
+	if len(items) == 0 {
+		return emptySeq(), nil
+	}
+	var parts []ralg.Plan
+	for i, item := range items {
+		q, err := c.compile(item, sc)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, ralg.NewProject(ralg.AttachInt(q, "ord", int64(i)),
+			"iter", "ord", "pos", "item"))
+	}
+	if len(parts) == 1 {
+		return ralg.NewProject(parts[0], "iter", "pos", "item"), nil
+	}
+	u := &ralg.Union{Ins: parts}
+	srt := ralg.NewSort(u, "iter", "ord", "pos")
+	rn := ralg.NewRowNum(srt, "pos2", []string{"ord", "pos"}, "iter")
+	return ralg.NewProject(rn, "iter", "pos2->pos", "item"), nil
+}
+
+func (c *Compiler) compileIf(x *xqp.If, sc *scope) (ralg.Plan, error) {
+	cond, err := c.compileBool(x.Cond, sc)
+	if err != nil {
+		return nil, err
+	}
+	selT := &ralg.Select{Cond: "val"}
+	selT.SetInput(0, cond)
+	loopT := ralg.NewProject(selT, "iter")
+	selE := &ralg.Select{Cond: "val", Neg: true}
+	selE.SetInput(0, cond)
+	loopE := ralg.NewProject(selE, "iter")
+	qt, err := c.compile(x.Then, restrictScope(sc, loopT))
+	if err != nil {
+		return nil, err
+	}
+	qe, err := c.compile(x.Else, restrictScope(sc, loopE))
+	if err != nil {
+		return nil, err
+	}
+	u := &ralg.Union{Ins: []ralg.Plan{qt, qe}}
+	return ralg.NewSort(u, "iter", "pos"), nil
+}
+
+func (c *Compiler) compileBinary(x *xqp.Binary, sc *scope) (ralg.Plan, error) {
+	switch x.Op {
+	case xqp.OpOr, xqp.OpAnd,
+		xqp.OpGenEq, xqp.OpGenNe, xqp.OpGenLt, xqp.OpGenLe, xqp.OpGenGt, xqp.OpGenGe:
+		b, err := c.compileBool(x, sc)
+		if err != nil {
+			return nil, err
+		}
+		return boolSeq(b), nil
+	case xqp.OpValEq, xqp.OpValNe, xqp.OpValLt, xqp.OpValLe, xqp.OpValGt, xqp.OpValGe,
+		xqp.OpIs, xqp.OpBefore, xqp.OpAfter:
+		// empty-propagating singleton comparison: absent iterations stay
+		// absent (the result is the empty sequence there)
+		ql, qr, err := c.compileBothSingleton(x.L, x.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		j := ralg.NewHashJoin(ql, qr, "iter", "iter",
+			ralg.Refs("iter", "pos", "item->a"), ralg.Refs("item->b"))
+		f := ralg.NewFun(j, valueCmpFun(x.Op), "val", "a", "b")
+		return boolSeq(ralg.NewProject(f, "iter", "val")), nil
+	case xqp.OpAdd, xqp.OpSub, xqp.OpMul, xqp.OpDiv, xqp.OpIDiv, xqp.OpMod:
+		ql, qr, err := c.compileBothSingleton(x.L, x.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		j := ralg.NewHashJoin(ql, qr, "iter", "iter",
+			ralg.Refs("iter", "pos", "item->a"), ralg.Refs("item->b"))
+		ops := map[xqp.BinOp]ralg.FunOp{
+			xqp.OpAdd: ralg.FunAdd, xqp.OpSub: ralg.FunSub, xqp.OpMul: ralg.FunMul,
+			xqp.OpDiv: ralg.FunDiv, xqp.OpIDiv: ralg.FunIDiv, xqp.OpMod: ralg.FunMod,
+		}
+		f := ralg.NewFun(j, ops[x.Op], "item2", "a", "b")
+		return ralg.NewProject(f, "iter", "pos", "item2->item"), nil
+	case xqp.OpRange:
+		ql, qr, err := c.compileBothSingleton(x.L, x.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		j := ralg.NewHashJoin(ql, qr, "iter", "iter",
+			ralg.Refs("iter", "item->lo"), ralg.Refs("item->hi"))
+		rg := &ralg.RangeGen{Iter: "iter", Lo: "lo", Hi: "hi"}
+		rg.SetInput(0, j)
+		return rg, nil
+	case xqp.OpUnion:
+		ql, err := c.compile(x.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		qr, err := c.compile(x.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		u := &ralg.Union{Ins: []ralg.Plan{ql, qr}}
+		srt := ralg.NewSort(u, "iter", "item")
+		d := &ralg.Distinct{By: []string{"iter", "item"}}
+		d.SetInput(0, srt)
+		rn := ralg.NewRowNum(d, "pos2", []string{"item"}, "iter")
+		return ralg.NewProject(rn, "iter", "pos2->pos", "item"), nil
+	}
+	return nil, fmt.Errorf("xqc: unhandled binary operator %v", x.Op)
+}
+
+func (c *Compiler) compileBothSingleton(l, r xqp.Expr, sc *scope) (ralg.Plan, ralg.Plan, error) {
+	ql, err := c.compile(l, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	qr, err := c.compile(r, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return firstItem(ql), firstItem(qr), nil
+}
+
+func valueCmpFun(op xqp.BinOp) ralg.FunOp {
+	switch op {
+	case xqp.OpValEq:
+		return ralg.FunEq
+	case xqp.OpValNe:
+		return ralg.FunNe
+	case xqp.OpValLt:
+		return ralg.FunLt
+	case xqp.OpValLe:
+		return ralg.FunLe
+	case xqp.OpValGt:
+		return ralg.FunGt
+	case xqp.OpValGe:
+		return ralg.FunGe
+	case xqp.OpIs:
+		return ralg.FunNodeIs
+	case xqp.OpBefore:
+		return ralg.FunNodeBefore
+	case xqp.OpAfter:
+		return ralg.FunNodeAfter
+	}
+	panic("xqc: not a value comparison")
+}
+
+// staticNumeric reports whether e's value is statically known to be
+// numeric (drives the Fig. 8b min/max rewrite's comparison mode).
+func staticNumeric(e xqp.Expr) bool {
+	switch x := e.(type) {
+	case *xqp.Literal:
+		return x.Kind != xqp.LitString
+	case *xqp.Binary:
+		switch x.Op {
+		case xqp.OpAdd, xqp.OpSub, xqp.OpMul, xqp.OpDiv, xqp.OpIDiv, xqp.OpMod:
+			return true
+		}
+	case *xqp.Unary:
+		return true
+	case *xqp.Call:
+		switch x.Name {
+		case "count", "sum", "avg", "number", "floor", "ceiling", "round", "string-length":
+			return true
+		}
+	}
+	return false
+}
+
+// compileBool compiles e to its effective boolean value: a dense
+// (iter, val) relation over sc.loop, sorted on iter.
+func (c *Compiler) compileBool(e xqp.Expr, sc *scope) (ralg.Plan, error) {
+	switch x := e.(type) {
+	case *xqp.Binary:
+		switch x.Op {
+		case xqp.OpOr, xqp.OpAnd:
+			bl, err := c.compileBool(x.L, sc)
+			if err != nil {
+				return nil, err
+			}
+			br, err := c.compileBool(x.R, sc)
+			if err != nil {
+				return nil, err
+			}
+			j := ralg.NewHashJoin(bl, br, "iter", "iter",
+				ralg.Refs("iter", "val->v1"), ralg.Refs("val->v2"))
+			op := ralg.FunOr
+			if x.Op == xqp.OpAnd {
+				op = ralg.FunAnd
+			}
+			f := ralg.NewFun(j, op, "val", "v1", "v2")
+			return ralg.NewProject(f, "iter", "val"), nil
+		case xqp.OpGenEq, xqp.OpGenNe, xqp.OpGenLt, xqp.OpGenLe, xqp.OpGenGt, xqp.OpGenGe:
+			return c.compileGeneralCmp(x, sc)
+		}
+	case *xqp.Call:
+		switch x.Name {
+		case "not":
+			if len(x.Args) == 1 {
+				b, err := c.compileBool(x.Args[0], sc)
+				if err != nil {
+					return nil, err
+				}
+				f := ralg.NewFun(b, ralg.FunNot, "nval", "val")
+				return ralg.NewProject(f, "iter", "nval->val"), nil
+			}
+		case "boolean":
+			if len(x.Args) == 1 {
+				return c.compileBool(x.Args[0], sc)
+			}
+		case "exists", "empty":
+			if len(x.Args) == 1 {
+				q, err := c.compile(x.Args[0], sc)
+				if err != nil {
+					return nil, err
+				}
+				present := &ralg.Distinct{By: []string{"iter"}}
+				present.SetInput(0, ralg.NewProject(q, "iter"))
+				val := &ralg.Attach{Col: "val", Kind: ralg.KBool, B: x.Name == "exists"}
+				val.SetInput(0, present)
+				return densifyBool(val, sc.loop, x.Name == "empty"), nil
+			}
+		case "true":
+			t := &ralg.Attach{Col: "val", Kind: ralg.KBool, B: true}
+			t.SetInput(0, ralg.NewProject(sc.loop, "iter"))
+			return t, nil
+		case "false":
+			f := &ralg.Attach{Col: "val", Kind: ralg.KBool, B: false}
+			f.SetInput(0, ralg.NewProject(sc.loop, "iter"))
+			return f, nil
+		}
+	case *xqp.Quantified:
+		return c.compileBool(desugarQuantified(x), sc)
+	}
+	// generic fallback: effective boolean value of the sequence
+	q, err := c.compile(e, sc)
+	if err != nil {
+		return nil, err
+	}
+	ebv := &ralg.EBV{Part: "iter", Item: "item", Out: "val"}
+	ebv.SetInput(0, q)
+	return densifyBool(ebv, sc.loop, false), nil
+}
+
+// compileGeneralCmp compiles a same-loop existential general comparison:
+// join both sides on iter, compare, project the satisfied iterations, and
+// densify (Fig. 8a). For ordering comparisons over statically numeric
+// operands both sides are first reduced to per-iteration extrema
+// (Fig. 8b).
+func (c *Compiler) compileGeneralCmp(x *xqp.Binary, sc *scope) (ralg.Plan, error) {
+	ql, err := c.compile(x.L, sc)
+	if err != nil {
+		return nil, err
+	}
+	qr, err := c.compile(x.R, sc)
+	if err != nil {
+		return nil, err
+	}
+	op := genCmpOp(x.Op)
+	if op != xqt.CmpEq && op != xqt.CmpNe && (staticNumeric(x.L) || staticNumeric(x.R)) {
+		lAgg, rAgg := ralg.AggMin, ralg.AggMax
+		if op == xqt.CmpGt || op == xqt.CmpGe {
+			lAgg, rAgg = ralg.AggMax, ralg.AggMin
+		}
+		ql = aggrSide(ql, lAgg)
+		qr = aggrSide(qr, rAgg)
+	}
+	j := ralg.NewHashJoin(ql, qr, "iter", "iter",
+		ralg.Refs("iter", "item->a"), ralg.Refs("item->b"))
+	fn := map[xqt.CmpOp]ralg.FunOp{
+		xqt.CmpEq: ralg.FunEq, xqt.CmpNe: ralg.FunNe, xqt.CmpLt: ralg.FunLt,
+		xqt.CmpLe: ralg.FunLe, xqt.CmpGt: ralg.FunGt, xqt.CmpGe: ralg.FunGe,
+	}[op]
+	f := ralg.NewFun(j, fn, "hit", "a", "b")
+	sel := &ralg.Select{Cond: "hit"}
+	sel.SetInput(0, f)
+	dist := &ralg.Distinct{By: []string{"iter"}}
+	dist.SetInput(0, ralg.NewProject(sel, "iter"))
+	val := &ralg.Attach{Col: "val", Kind: ralg.KBool, B: true}
+	val.SetInput(0, dist)
+	return densifyBool(val, sc.loop, false), nil
+}
+
+func aggrSide(q ralg.Plan, op ralg.AggOp) ralg.Plan {
+	num := ralg.NewFun(q, ralg.FunNumber, "nv", "item")
+	a := &ralg.Aggr{Part: "iter", Op: op, Arg: "nv", Out: "item"}
+	a.SetInput(0, num)
+	return a
+}
+
+func genCmpOp(op xqp.BinOp) xqt.CmpOp {
+	switch op {
+	case xqp.OpGenEq:
+		return xqt.CmpEq
+	case xqp.OpGenNe:
+		return xqt.CmpNe
+	case xqp.OpGenLt:
+		return xqt.CmpLt
+	case xqp.OpGenLe:
+		return xqt.CmpLe
+	case xqp.OpGenGt:
+		return xqt.CmpGt
+	case xqp.OpGenGe:
+		return xqt.CmpGe
+	}
+	panic("xqc: not a general comparison")
+}
+
+// desugarQuantified rewrites quantifiers into FLWOR emptiness tests:
+//
+//	some $v in E satisfies P  ≡  exists(for $v in E where P return 1)
+//	every $v in E satisfies P ≡  empty(for $v in E where not(P) return 1)
+func desugarQuantified(q *xqp.Quantified) xqp.Expr {
+	fl := &xqp.FLWOR{Return: &xqp.Literal{Kind: xqp.LitInt, I: 1}}
+	for i := range q.Vars {
+		fl.Clauses = append(fl.Clauses, xqp.Clause{Kind: xqp.ClauseFor, Var: q.Vars[i], Expr: q.Seqs[i]})
+	}
+	cond := q.Satisfies
+	fn := "exists"
+	if q.Every {
+		cond = &xqp.Call{Name: "not", Args: []xqp.Expr{cond}}
+		fn = "empty"
+	}
+	fl.Clauses = append(fl.Clauses, xqp.Clause{Kind: xqp.ClauseWhere, Expr: cond})
+	return &xqp.Call{Name: fn, Args: []xqp.Expr{fl}}
+}

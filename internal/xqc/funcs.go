@@ -1,0 +1,295 @@
+package xqc
+
+import (
+	"fmt"
+
+	"mxq/internal/ralg"
+	"mxq/internal/xqp"
+	"mxq/internal/xqt"
+)
+
+func (c *Compiler) compileCall(x *xqp.Call, sc *scope) (ralg.Plan, error) {
+	if f, ok := c.funcs[x.Name]; ok {
+		return c.inlineUDF(f, x, sc)
+	}
+	switch x.Name {
+	case "true":
+		return litSeq(sc.loop, xqt.Bool(true)), nil
+	case "false":
+		return litSeq(sc.loop, xqt.Bool(false)), nil
+	case "doc":
+		lit, ok := x.Args[0].(*xqp.Literal)
+		if !ok || lit.Kind != xqp.LitString {
+			return nil, fmt.Errorf("xqc: doc() requires a string literal argument")
+		}
+		root := &ralg.DocRoot{Doc: lit.S}
+		cross := &ralg.Cross{LCols: ralg.Refs("iter"), RCols: ralg.Refs("pos", "item")}
+		cross.SetInput(0, ralg.NewProject(sc.loop, "iter"))
+		cross.SetInput(1, root)
+		return cross, nil
+	case "not", "boolean", "exists", "empty":
+		b, err := c.compileBool(x, sc)
+		if err != nil {
+			return nil, err
+		}
+		return boolSeq(b), nil
+	case "count", "sum", "avg", "min", "max":
+		return c.compileAggr(x, sc)
+	case "string", "data", "number", "name", "local-name",
+		"floor", "ceiling", "round", "string-length":
+		return c.compileUnaryFn(x, sc)
+	case "contains", "starts-with":
+		return c.compileStringCmp(x, sc)
+	case "concat":
+		return c.compileConcat(x, sc)
+	case "distinct-values":
+		q, err := c.compileArg(x, 0, sc)
+		if err != nil {
+			return nil, err
+		}
+		at := ralg.NewFun(q, ralg.FunAtomize, "av", "item")
+		proj := ralg.NewProject(at, "iter", "pos", "av->item")
+		d := &ralg.Distinct{By: []string{"iter", "item"}}
+		d.SetInput(0, proj)
+		rn := ralg.NewRowNum(d, "pos2", []string{"pos"}, "iter")
+		return ralg.NewProject(rn, "iter", "pos2->pos", "item"), nil
+	case "zero-or-one", "exactly-one", "one-or-more":
+		return c.compileCardinality(x, sc)
+	case "last":
+		if b, ok := sc.vars["#last"]; ok {
+			return b.plan, nil
+		}
+		return nil, fmt.Errorf("xquery error XPDY0002: last() outside a predicate")
+	case "position":
+		if b, ok := sc.vars["#pos"]; ok {
+			return b.plan, nil
+		}
+		return nil, fmt.Errorf("xquery error XPDY0002: position() outside a predicate")
+	}
+	return nil, fmt.Errorf("xquery error XPST0017: unknown function %s#%d", x.Name, len(x.Args))
+}
+
+func (c *Compiler) compileArg(x *xqp.Call, i int, sc *scope) (ralg.Plan, error) {
+	if i >= len(x.Args) {
+		return nil, fmt.Errorf("xquery error XPST0017: %s expects more than %d arguments", x.Name, len(x.Args))
+	}
+	return c.compile(x.Args[i], sc)
+}
+
+// inlineUDF expands a user-defined function call by binding the argument
+// plans as variables and compiling the body in the caller's loop.
+// Recursive functions cannot be inlined and are rejected (the naive
+// interpreter evaluates them; the relational compiler matches
+// MonetDB/XQuery's documented support only for non-recursive inlining in
+// this reproduction).
+func (c *Compiler) inlineUDF(f *xqp.FuncDecl, x *xqp.Call, sc *scope) (ralg.Plan, error) {
+	if len(x.Args) != len(f.Params) {
+		return nil, fmt.Errorf("xquery error XPST0017: %s expects %d arguments", f.Name, len(f.Params))
+	}
+	if c.inlining[f.Name] {
+		return nil, fmt.Errorf("xqc: recursive user-defined function %s cannot be compiled relationally", f.Name)
+	}
+	body := sc.clone()
+	body.vars = make(map[string]*binding, len(f.Params))
+	for i, p := range f.Params {
+		q, err := c.compile(x.Args[i], sc)
+		if err != nil {
+			return nil, err
+		}
+		body.vars[p] = &binding{plan: q, deps: c.depsOf(x.Args[i], sc)}
+	}
+	c.inlining[f.Name] = true
+	defer delete(c.inlining, f.Name)
+	return c.compile(f.Body, body)
+}
+
+// compileAggr compiles the grouped aggregates. count and sum densify
+// empty iterations with 0; avg/min/max leave them empty.
+func (c *Compiler) compileAggr(x *xqp.Call, sc *scope) (ralg.Plan, error) {
+	q, err := c.compileArg(x, 0, sc)
+	if err != nil {
+		return nil, err
+	}
+	op := map[string]ralg.AggOp{
+		"count": ralg.AggCount, "sum": ralg.AggSum, "avg": ralg.AggAvg,
+		"min": ralg.AggMin, "max": ralg.AggMax,
+	}[x.Name]
+	arg := "item"
+	if op != ralg.AggCount {
+		at := ralg.NewFun(q, ralg.FunAtomize, "av", "item")
+		q = at
+		arg = "av"
+	}
+	a := &ralg.Aggr{Part: "iter", Op: op, Arg: arg, Out: "item"}
+	a.SetInput(0, q)
+	var full ralg.Plan = a
+	if x.Name == "count" || x.Name == "sum" {
+		d := &ralg.Diff{LKey: "iter", RKey: "iter"}
+		d.SetInput(0, ralg.NewProject(sc.loop, "iter"))
+		d.SetInput(1, a)
+		zero := ralg.AttachItem(d, "item", xqt.Int(0))
+		u := &ralg.Union{Ins: []ralg.Plan{ralg.NewProject(a, "iter", "item"), ralg.NewProject(zero, "iter", "item")}}
+		full = ralg.NewSort(u, "iter")
+	}
+	res := ralg.AttachInt(full, "pos", 1)
+	return ralg.NewProject(res, "iter", "pos", "item"), nil
+}
+
+// compileUnaryFn compiles per-iteration scalar functions of one argument.
+func (c *Compiler) compileUnaryFn(x *xqp.Call, sc *scope) (ralg.Plan, error) {
+	q, err := c.compileArg(x, 0, sc)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Name {
+	case "data":
+		at := ralg.NewFun(q, ralg.FunAtomize, "av", "item")
+		return ralg.NewProject(at, "iter", "pos", "av->item"), nil
+	case "string", "number", "name", "local-name", "floor", "ceiling", "round", "string-length":
+		fn := map[string]ralg.FunOp{
+			"string": ralg.FunStringOf, "number": ralg.FunNumber,
+			"name": ralg.FunNameOf, "local-name": ralg.FunNameOf,
+			"floor": ralg.FunFloor, "ceiling": ralg.FunCeil,
+			"round": ralg.FunRound, "string-length": ralg.FunStrLen,
+		}[x.Name]
+		cc := &ralg.CardCheck{Part: "iter", AtMostOne: true, Fn: x.Name}
+		cc.SetInput(0, q)
+		f := ralg.NewFun(cc, fn, "fv", "item")
+		part := ralg.NewProject(f, "iter", "pos", "fv->item")
+		// string(), name() and string-length() of the empty sequence
+		// yield "" / 0 rather than the empty sequence
+		var def xqt.Item
+		switch x.Name {
+		case "string", "name", "local-name":
+			def = xqt.Str("")
+		case "string-length":
+			def = xqt.Int(0)
+		case "number":
+			def = xqt.Double(nan())
+		default:
+			return part, nil
+		}
+		d := &ralg.Diff{LKey: "iter", RKey: "iter"}
+		d.SetInput(0, ralg.NewProject(sc.loop, "iter"))
+		d.SetInput(1, part)
+		filled := ralg.AttachItem(ralg.AttachInt(d, "pos", 1), "item", def)
+		u := &ralg.Union{Ins: []ralg.Plan{part, ralg.NewProject(filled, "iter", "pos", "item")}}
+		return ralg.NewSort(u, "iter", "pos"), nil
+	}
+	return nil, fmt.Errorf("xqc: unhandled unary function %s", x.Name)
+}
+
+// compileStringCmp compiles contains/starts-with: both arguments are
+// stringified with "" defaults, compared per iteration.
+func (c *Compiler) compileStringCmp(x *xqp.Call, sc *scope) (ralg.Plan, error) {
+	qa, err := c.stringified(x, 0, sc)
+	if err != nil {
+		return nil, err
+	}
+	qb, err := c.stringified(x, 1, sc)
+	if err != nil {
+		return nil, err
+	}
+	j := ralg.NewHashJoin(qa, qb, "iter", "iter",
+		ralg.Refs("iter", "pos", "item->a"), ralg.Refs("item->b"))
+	fn := ralg.FunContains
+	if x.Name == "starts-with" {
+		fn = ralg.FunStartsWith
+	}
+	f := ralg.NewFun(j, fn, "val", "a", "b")
+	return boolSeq(ralg.NewProject(f, "iter", "val")), nil
+}
+
+func (c *Compiler) compileConcat(x *xqp.Call, sc *scope) (ralg.Plan, error) {
+	if len(x.Args) < 2 {
+		return nil, fmt.Errorf("xquery error XPST0017: concat expects at least 2 arguments")
+	}
+	acc, err := c.stringified(x, 0, sc)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(x.Args); i++ {
+		qn, err := c.stringified(x, i, sc)
+		if err != nil {
+			return nil, err
+		}
+		j := ralg.NewHashJoin(acc, qn, "iter", "iter",
+			ralg.Refs("iter", "pos", "item->a"), ralg.Refs("item->b"))
+		f := ralg.NewFun(j, ralg.FunConcat, "cv", "a", "b")
+		acc = ralg.NewProject(f, "iter", "pos", "cv->item")
+	}
+	return acc, nil
+}
+
+// stringified compiles an argument to a dense (one row per iteration)
+// string singleton: first item stringified, empty iterations become "".
+func (c *Compiler) stringified(x *xqp.Call, i int, sc *scope) (ralg.Plan, error) {
+	q, err := c.compileArg(x, i, sc)
+	if err != nil {
+		return nil, err
+	}
+	first := firstItem(q)
+	f := ralg.NewFun(first, ralg.FunStringOf, "sv", "item")
+	part := ralg.NewProject(f, "iter", "pos", "sv->item")
+	d := &ralg.Diff{LKey: "iter", RKey: "iter"}
+	d.SetInput(0, ralg.NewProject(sc.loop, "iter"))
+	d.SetInput(1, part)
+	filled := ralg.AttachItem(ralg.AttachInt(d, "pos", 1), "item", xqt.Str(""))
+	u := &ralg.Union{Ins: []ralg.Plan{part, ralg.NewProject(filled, "iter", "pos", "item")}}
+	return ralg.NewSort(u, "iter"), nil
+}
+
+func (c *Compiler) compileCardinality(x *xqp.Call, sc *scope) (ralg.Plan, error) {
+	q, err := c.compileArg(x, 0, sc)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Name {
+	case "zero-or-one":
+		cc := &ralg.CardCheck{Part: "iter", AtMostOne: true, Fn: "fn:zero-or-one"}
+		cc.SetInput(0, q)
+		return cc, nil
+	case "exactly-one":
+		cc := &ralg.CardCheck{Part: "iter", AtMostOne: true, Fn: "fn:exactly-one"}
+		cc.SetInput(0, q)
+		cv := &ralg.CoverCheck{LoopIter: "iter", Part: "iter", Fn: "fn:exactly-one"}
+		cv.SetInput(0, sc.loop)
+		cv.SetInput(1, cc)
+		return cv, nil
+	default: // one-or-more
+		cv := &ralg.CoverCheck{LoopIter: "iter", Part: "iter", Fn: "fn:one-or-more"}
+		cv.SetInput(0, sc.loop)
+		cv.SetInput(1, q)
+		return cv, nil
+	}
+}
+
+func (c *Compiler) compileCtor(x *xqp.ElemCtor, sc *scope) (ralg.Plan, error) {
+	content, err := c.compileSeqList(x.Content, sc)
+	if err != nil {
+		return nil, err
+	}
+	ec := &ralg.ElemConstruct{
+		Loop:    ralg.NewProject(sc.loop, "iter"),
+		Content: content,
+		Tag:     x.Name,
+	}
+	for _, a := range x.Attrs {
+		spec := ralg.AttrSpec{Attr: a.Name}
+		for _, part := range a.Parts {
+			pp, err := c.compile(part, sc)
+			if err != nil {
+				return nil, err
+			}
+			spec.Parts = append(spec.Parts, pp)
+		}
+		ec.Attrs = append(ec.Attrs, spec)
+	}
+	res := ralg.AttachInt(ec, "pos", 1)
+	return ralg.NewProject(res, "iter", "pos", "item"), nil
+}
+
+func nan() float64 {
+	var z float64
+	return 0 / z
+}

@@ -1,0 +1,361 @@
+package xqp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tEOF  tokKind = iota
+	tName         // NCName or QName (prefix:local)
+	tVar          // $name
+	tInt
+	tDouble
+	tString
+	tLParen
+	tRParen
+	tLBracket
+	tRBracket
+	tLBrace
+	tRBrace
+	tComma
+	tSemi
+	tSlash
+	tSlashSlash
+	tAt
+	tDot
+	tDotDot
+	tStar
+	tPlus
+	tMinus
+	tPipe
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+	tLtLt
+	tGtGt
+	tAssign // :=
+	tAxis   // ::
+	tQuestion
+)
+
+type token struct {
+	kind tokKind
+	text string
+	i    int64
+	f    float64
+	pos  int // byte offset of token start
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of query"
+	case tName, tString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// lexer tokenizes XQuery text. The parser can also take direct control of
+// the input (via pos/src) to read direct element constructors, then
+// resume token scanning with setPos.
+type lexer struct {
+	src string
+	pos int
+	// one-token lookahead
+	peeked  bool
+	nextTok token
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) errf(pos int, format string, args ...interface{}) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(l.src); i++ {
+		if l.src[i] == '\n' {
+			line, col = line+1, 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("xquery parse error at %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+// setPos repositions the scanner (used after constructor parsing).
+func (l *lexer) setPos(p int) {
+	l.pos = p
+	l.peeked = false
+}
+
+func (l *lexer) peek() (token, error) {
+	if !l.peeked {
+		t, err := l.scan()
+		if err != nil {
+			return token{}, err
+		}
+		l.nextTok = t
+		l.peeked = true
+	}
+	return l.nextTok, nil
+}
+
+func (l *lexer) next() (token, error) {
+	t, err := l.peek()
+	if err != nil {
+		return token{}, err
+	}
+	l.peeked = false
+	return t, nil
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':':
+			depth := 1
+			i := l.pos + 2
+			for i < len(l.src) && depth > 0 {
+				if i+1 < len(l.src) && l.src[i] == '(' && l.src[i+1] == ':' {
+					depth++
+					i += 2
+				} else if i+1 < len(l.src) && l.src[i] == ':' && l.src[i+1] == ')' {
+					depth--
+					i += 2
+				} else {
+					i++
+				}
+			}
+			if depth > 0 {
+				return l.errf(l.pos, "unterminated comment")
+			}
+			l.pos = i
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+// scanName reads an NCName starting at pos.
+func (l *lexer) scanName() string {
+	start := l.pos
+	for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) scan() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	mk := func(k tokKind, text string) token { return token{kind: k, text: text, pos: start} }
+	switch {
+	case isNameStart(c):
+		name := l.scanName()
+		// QName: name ":" name — but not "::" (axis) and not ":=".
+		if l.pos+1 < len(l.src) && l.src[l.pos] == ':' && isNameStart(l.src[l.pos+1]) {
+			l.pos++
+			name = name + ":" + l.scanName()
+		}
+		return mk(tName, name), nil
+	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		return l.scanNumber()
+	case c == '"' || c == '\'':
+		return l.scanString(c)
+	}
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "//":
+		l.pos += 2
+		return mk(tSlashSlash, "//"), nil
+	case "!=":
+		l.pos += 2
+		return mk(tNe, "!="), nil
+	case "<=":
+		l.pos += 2
+		return mk(tLe, "<="), nil
+	case ">=":
+		l.pos += 2
+		return mk(tGe, ">="), nil
+	case "<<":
+		l.pos += 2
+		return mk(tLtLt, "<<"), nil
+	case ">>":
+		l.pos += 2
+		return mk(tGtGt, ">>"), nil
+	case ":=":
+		l.pos += 2
+		return mk(tAssign, ":="), nil
+	case "::":
+		l.pos += 2
+		return mk(tAxis, "::"), nil
+	case "..":
+		l.pos += 2
+		return mk(tDotDot, ".."), nil
+	}
+	l.pos++
+	switch c {
+	case '(':
+		return mk(tLParen, "("), nil
+	case ')':
+		return mk(tRParen, ")"), nil
+	case '[':
+		return mk(tLBracket, "["), nil
+	case ']':
+		return mk(tRBracket, "]"), nil
+	case '{':
+		return mk(tLBrace, "{"), nil
+	case '}':
+		return mk(tRBrace, "}"), nil
+	case ',':
+		return mk(tComma, ","), nil
+	case ';':
+		return mk(tSemi, ";"), nil
+	case '/':
+		return mk(tSlash, "/"), nil
+	case '@':
+		return mk(tAt, "@"), nil
+	case '.':
+		return mk(tDot, "."), nil
+	case '*':
+		return mk(tStar, "*"), nil
+	case '+':
+		return mk(tPlus, "+"), nil
+	case '-':
+		return mk(tMinus, "-"), nil
+	case '|':
+		return mk(tPipe, "|"), nil
+	case '=':
+		return mk(tEq, "="), nil
+	case '<':
+		return mk(tLt, "<"), nil
+	case '>':
+		return mk(tGt, ">"), nil
+	case '?':
+		return mk(tQuestion, "?"), nil
+	case '$':
+		if l.pos < len(l.src) && isNameStart(l.src[l.pos]) {
+			name := l.scanName()
+			if l.pos+1 < len(l.src) && l.src[l.pos] == ':' && isNameStart(l.src[l.pos+1]) {
+				l.pos++
+				name = name + ":" + l.scanName()
+			}
+			return token{kind: tVar, text: name, pos: start}, nil
+		}
+		return token{}, l.errf(start, "expected variable name after $")
+	}
+	return token{}, l.errf(start, "unexpected character %q", string(c))
+}
+
+func (l *lexer) scanNumber() (token, error) {
+	start := l.pos
+	seenDot := false
+	seenExp := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			// ".." must not be consumed
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+				goto done
+			}
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if !seenDot && !seenExp {
+		var v int64
+		for _, ch := range text {
+			v = v*10 + int64(ch-'0')
+		}
+		return token{kind: tInt, text: text, i: v, pos: start}, nil
+	}
+	var f float64
+	if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+		return token{}, l.errf(start, "bad numeric literal %q", text)
+	}
+	return token{kind: tDouble, text: text, f: f, pos: start}, nil
+}
+
+func (l *lexer) scanString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			// doubled quote escapes itself
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				sb.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tString, text: sb.String(), pos: start}, nil
+		}
+		if c == '&' {
+			ent, n, err := scanEntity(l.src[l.pos:])
+			if err != nil {
+				return token{}, l.errf(l.pos, "%v", err)
+			}
+			sb.WriteString(ent)
+			l.pos += n
+			continue
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}
+
+// scanEntity decodes a leading XML entity reference.
+func scanEntity(s string) (string, int, error) {
+	for ent, r := range map[string]string{
+		"&lt;": "<", "&gt;": ">", "&amp;": "&", "&quot;": `"`, "&apos;": "'",
+	} {
+		if strings.HasPrefix(s, ent) {
+			return r, len(ent), nil
+		}
+	}
+	return "", 0, fmt.Errorf("unknown entity reference")
+}

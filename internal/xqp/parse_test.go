@@ -1,0 +1,322 @@
+package xqp
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) *Module {
+	t.Helper()
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return m
+}
+
+func TestLiterals(t *testing.T) {
+	m := parse(t, `42`)
+	if l, ok := m.Body.(*Literal); !ok || l.Kind != LitInt || l.I != 42 {
+		t.Errorf("int literal: %+v", m.Body)
+	}
+	m = parse(t, `3.5`)
+	if l, ok := m.Body.(*Literal); !ok || l.Kind != LitDouble || l.F != 3.5 {
+		t.Errorf("double literal: %+v", m.Body)
+	}
+	m = parse(t, `"a""b"`)
+	if l, ok := m.Body.(*Literal); !ok || l.S != `a"b` {
+		t.Errorf("string literal: %+v", m.Body)
+	}
+	m = parse(t, `'x&amp;y'`)
+	if l, ok := m.Body.(*Literal); !ok || l.S != "x&y" {
+		t.Errorf("entity in string: %+v", m.Body)
+	}
+}
+
+func TestSequenceAndEmpty(t *testing.T) {
+	m := parse(t, `(1, 2, 3)`)
+	if s, ok := m.Body.(*Seq); !ok || len(s.Items) != 3 {
+		t.Errorf("seq: %+v", m.Body)
+	}
+	m = parse(t, `()`)
+	if _, ok := m.Body.(*EmptySeq); !ok {
+		t.Errorf("empty seq: %+v", m.Body)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	m := parse(t, `1 + 2 * 3 = 7 and true()`)
+	and, ok := m.Body.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("top is %+v, want and", m.Body)
+	}
+	cmp, ok := and.L.(*Binary)
+	if !ok || cmp.Op != OpGenEq {
+		t.Fatalf("lhs of and: %+v", and.L)
+	}
+	add, ok := cmp.L.(*Binary)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("lhs of =: %+v", cmp.L)
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("rhs of +: %+v", add.R)
+	}
+}
+
+func TestValueAndNodeComparisons(t *testing.T) {
+	for src, op := range map[string]BinOp{
+		`$a eq $b`: OpValEq, `$a lt $b`: OpValLt, `$a is $b`: OpIs,
+		`$a << $b`: OpBefore, `$a >> $b`: OpAfter, `$a != $b`: OpGenNe,
+	} {
+		m := parse(t, src)
+		if b, ok := m.Body.(*Binary); !ok || b.Op != op {
+			t.Errorf("%s: got %+v", src, m.Body)
+		}
+	}
+}
+
+func TestPathParsing(t *testing.T) {
+	m := parse(t, `/site/people/person[@id = "p0"]/name/text()`)
+	path, ok := m.Body.(*Path)
+	if !ok || !path.Absolute {
+		t.Fatalf("not an absolute path: %+v", m.Body)
+	}
+	if len(path.Steps) != 5 {
+		t.Fatalf("%d steps", len(path.Steps))
+	}
+	if path.Steps[2].Test.Name != "person" || len(path.Steps[2].Preds) != 1 {
+		t.Errorf("person step: %+v", path.Steps[2])
+	}
+	if path.Steps[4].Test.Kind != TestText {
+		t.Errorf("text() step: %+v", path.Steps[4])
+	}
+}
+
+func TestDoubleSlashDesugaring(t *testing.T) {
+	m := parse(t, `$a//item`)
+	path := m.Body.(*Path)
+	if len(path.Steps) != 3 {
+		t.Fatalf("steps: %d", len(path.Steps))
+	}
+	if path.Steps[1].Axis != AxisDescendantOrSelf || path.Steps[1].Test.Kind != TestAnyNode {
+		t.Errorf("// dos step: %+v", path.Steps[1])
+	}
+	m = parse(t, `//open_auction`)
+	path = m.Body.(*Path)
+	if !path.Absolute || len(path.Steps) != 2 {
+		t.Errorf("//name: %+v", path)
+	}
+}
+
+func TestAxesAndAbbreviations(t *testing.T) {
+	m := parse(t, `$x/ancestor::lot/@id/../following-sibling::b/..`)
+	path := m.Body.(*Path)
+	wantAxes := []Axis{AxisChild, AxisAncestor, AxisAttribute, AxisParent, AxisFollowingSibling, AxisParent}
+	if len(path.Steps) != len(wantAxes) {
+		t.Fatalf("steps: %d want %d", len(path.Steps), len(wantAxes))
+	}
+	for i, s := range path.Steps[1:] {
+		if s.Axis != wantAxes[i+1] {
+			t.Errorf("step %d axis %d, want %d", i+1, s.Axis, wantAxes[i+1])
+		}
+	}
+	if path.Steps[0].Expr == nil {
+		t.Error("first step should be the variable primary")
+	}
+}
+
+func TestFLWORFull(t *testing.T) {
+	m := parse(t, `
+		for $b at $i in /site/open_auctions/open_auction, $c in $b/bidder
+		let $k := $b/reserve
+		where $k > 100 and $i < 5
+		order by $b/location descending, $k
+		return <out>{$k}</out>`)
+	fl, ok := m.Body.(*FLWOR)
+	if !ok {
+		t.Fatalf("not FLWOR: %+v", m.Body)
+	}
+	kinds := []ClauseKind{ClauseFor, ClauseFor, ClauseLet, ClauseWhere, ClauseOrder}
+	if len(fl.Clauses) != len(kinds) {
+		t.Fatalf("clauses: %d", len(fl.Clauses))
+	}
+	for i, k := range kinds {
+		if fl.Clauses[i].Kind != k {
+			t.Errorf("clause %d kind %d want %d", i, fl.Clauses[i].Kind, k)
+		}
+	}
+	if fl.Clauses[0].Pos != "i" || fl.Clauses[0].Var != "b" {
+		t.Errorf("for clause: %+v", fl.Clauses[0])
+	}
+	ord := fl.Clauses[4]
+	if len(ord.Keys) != 2 || !ord.Keys[0].Desc || ord.Keys[1].Desc {
+		t.Errorf("order keys: %+v", ord.Keys)
+	}
+	if _, ok := fl.Return.(*ElemCtor); !ok {
+		t.Errorf("return: %+v", fl.Return)
+	}
+}
+
+func TestQuantified(t *testing.T) {
+	m := parse(t, `some $x in $b/bidder, $y in $c satisfies $x << $y`)
+	q, ok := m.Body.(*Quantified)
+	if !ok || q.Every || len(q.Vars) != 2 {
+		t.Fatalf("quantified: %+v", m.Body)
+	}
+	m = parse(t, `every $x in (1,2) satisfies $x > 0`)
+	if q := m.Body.(*Quantified); !q.Every {
+		t.Error("every not recognized")
+	}
+}
+
+func TestIfAndKeywordAmbiguity(t *testing.T) {
+	m := parse(t, `if ($x) then 1 else 2`)
+	if _, ok := m.Body.(*If); !ok {
+		t.Fatalf("if: %+v", m.Body)
+	}
+	// "if", "for" etc. as element names must still parse as paths
+	m = parse(t, `/site/if/for/some`)
+	path, ok := m.Body.(*Path)
+	if !ok || len(path.Steps) != 4 {
+		t.Fatalf("keyword-named steps: %+v", m.Body)
+	}
+}
+
+func TestDirectConstructor(t *testing.T) {
+	m := parse(t, `<item person="{$p/name/text()}" note="n{1+1}x">{count($a)} text <b/></item>`)
+	el, ok := m.Body.(*ElemCtor)
+	if !ok {
+		t.Fatalf("ctor: %+v", m.Body)
+	}
+	if el.Name != "item" || len(el.Attrs) != 2 {
+		t.Fatalf("attrs: %+v", el)
+	}
+	if len(el.Attrs[0].Parts) != 1 {
+		t.Errorf("person attr parts: %d", len(el.Attrs[0].Parts))
+	}
+	if len(el.Attrs[1].Parts) != 3 {
+		t.Errorf("note attr parts: %d", len(el.Attrs[1].Parts))
+	}
+	if len(el.Content) != 3 {
+		t.Fatalf("content: %d items", len(el.Content))
+	}
+	if _, ok := el.Content[0].(*Call); !ok {
+		t.Errorf("content[0]: %+v", el.Content[0])
+	}
+	if lit, ok := el.Content[1].(*Literal); !ok || strings.TrimSpace(lit.S) != "text" {
+		t.Errorf("content[1]: %+v", el.Content[1])
+	}
+	if sub, ok := el.Content[2].(*ElemCtor); !ok || sub.Name != "b" {
+		t.Errorf("content[2]: %+v", el.Content[2])
+	}
+}
+
+func TestNestedConstructorsAndBraceEscapes(t *testing.T) {
+	m := parse(t, `<a><b>x{{y}}z</b><c>{ <d/> }</c></a>`)
+	el := m.Body.(*ElemCtor)
+	if len(el.Content) != 2 {
+		t.Fatalf("content: %d", len(el.Content))
+	}
+	b := el.Content[0].(*ElemCtor)
+	if lit := b.Content[0].(*Literal); lit.S != "x{y}z" {
+		t.Errorf("brace escape: %q", lit.S)
+	}
+	c := el.Content[1].(*ElemCtor)
+	if _, ok := c.Content[0].(*ElemCtor); !ok {
+		t.Errorf("enclosed constructor: %+v", c.Content[0])
+	}
+}
+
+func TestFunctionDeclaration(t *testing.T) {
+	m := parse(t, `
+		declare namespace local = "http://example.org";
+		declare function local:convert($v) { 2.20371 * $v };
+		for $i in /site/open_auctions/open_auction
+		return local:convert(zero-or-one($i/reserve/text()))`)
+	if len(m.Funcs) != 1 {
+		t.Fatalf("funcs: %d", len(m.Funcs))
+	}
+	f := m.Funcs[0]
+	if f.Name != "local:convert" || len(f.Params) != 1 || f.Params[0] != "v" {
+		t.Errorf("decl: %+v", f)
+	}
+	fl := m.Body.(*FLWOR)
+	if c, ok := fl.Return.(*Call); !ok || c.Name != "local:convert" {
+		t.Errorf("call: %+v", fl.Return)
+	}
+}
+
+func TestComments(t *testing.T) {
+	m := parse(t, `(: outer (: nested :) still :) 1 (: trailing :)`)
+	if l, ok := m.Body.(*Literal); !ok || l.I != 1 {
+		t.Errorf("comments: %+v", m.Body)
+	}
+}
+
+func TestPredicatesOnPrimaries(t *testing.T) {
+	m := parse(t, `$b/bidder[1]/increase`)
+	path := m.Body.(*Path)
+	if len(path.Steps[1].Preds) != 1 {
+		t.Fatalf("bidder[1]: %+v", path.Steps[1])
+	}
+	if lit, ok := path.Steps[1].Preds[0].(*Literal); !ok || lit.I != 1 {
+		t.Errorf("positional pred: %+v", path.Steps[1].Preds[0])
+	}
+	m = parse(t, `$b/bidder[last()]`)
+	path = m.Body.(*Path)
+	if c, ok := path.Steps[1].Preds[0].(*Call); !ok || c.Name != "last" {
+		t.Errorf("last() pred: %+v", path.Steps[1].Preds[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`for $x return 1`,        // missing in
+		`if ($x) then 1`,         // missing else
+		`<a><b></a>`,             // mismatched ctor tags
+		`1 +`,                    // missing operand
+		`$`,                      // bad var
+		`"unterminated`,          // string
+		`(: no end`,              // comment
+		`declare function f() {`, // unterminated decl
+		`1 2`,                    // trailing junk
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestUnionAndRange(t *testing.T) {
+	m := parse(t, `$a | $b`)
+	if b, ok := m.Body.(*Binary); !ok || b.Op != OpUnion {
+		t.Errorf("union: %+v", m.Body)
+	}
+	m = parse(t, `1 to 5`)
+	if b, ok := m.Body.(*Binary); !ok || b.Op != OpRange {
+		t.Errorf("range: %+v", m.Body)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	m := parse(t, `-$x + 1`)
+	b := m.Body.(*Binary)
+	if b.Op != OpAdd {
+		t.Fatalf("top: %+v", b)
+	}
+	if _, ok := b.L.(*Unary); !ok {
+		t.Errorf("lhs: %+v", b.L)
+	}
+}
+
+func TestXMarkQ4ShapeParses(t *testing.T) {
+	src := `
+	for $b in /site/open_auctions/open_auction
+	where some $pr1 in $b/bidder/personref[@person = "person20"],
+	           $pr2 in $b/bidder/personref[@person = "person51"]
+	      satisfies $pr1 << $pr2
+	return <history>{$b/reward/text()}</history>`
+	parse(t, src)
+}

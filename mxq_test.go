@@ -1,0 +1,157 @@
+package mxq
+
+import (
+	"strings"
+	"testing"
+)
+
+const bookDoc = `<books><book year="1994"><title>TCP</title></book><book year="2000"><title>Web</title></book></books>`
+
+func TestOpenAndQuery(t *testing.T) {
+	db := Open()
+	if err := db.LoadDocumentString("books.xml", bookDoc); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.QueryString(`for $b in /books/book where $b/@year >= 2000 return $b/title/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "Web" {
+		t.Errorf("got %q", out)
+	}
+	res, err := db.Query(`/books/book`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("Len = %d", res.Len())
+	}
+	var sb strings.Builder
+	if err := res.SerializeXML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<title>TCP</title>") {
+		t.Errorf("serialized: %s", sb.String())
+	}
+	if len(res.Items()) != 2 {
+		t.Error("Items accessor")
+	}
+}
+
+func TestOptionsTakeEffect(t *testing.T) {
+	for _, opts := range [][]Option{
+		nil,
+		{WithJoinRecognition(false)},
+		{WithOrderOptimizer(false)},
+		{WithLoopLiftedSteps(false)},
+		{WithNametestPushdown(false)},
+	} {
+		db := Open(opts...)
+		if err := db.LoadDocumentString("books.xml", bookDoc); err != nil {
+			t.Fatal(err)
+		}
+		out, err := db.QueryString(`count(//book)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != "2" {
+			t.Errorf("opts %v: count = %s", opts, out)
+		}
+	}
+}
+
+func TestLoadXMarkAndDocFunction(t *testing.T) {
+	db := Open()
+	db.LoadXMark("auction.xml", 0.001, 1)
+	db.LoadXMark("second.xml", 0.001, 2)
+	out, err := db.QueryString(`count(/site/people/person)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "0" {
+		t.Error("no persons generated")
+	}
+	// explicit doc() access to the second document
+	out2, err := db.QueryString(`count(doc("second.xml")/site/people/person)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != out {
+		t.Logf("counts differ across seeds (ok): %s vs %s", out, out2)
+	}
+	if _, _, err := db.PlanStats(`count(//item)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdatableAPI(t *testing.T) {
+	u, err := LoadUpdatable("d.xml", strings.NewReader(`<a><b>x</b></a>`), 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := u.Snapshot()
+	res, err := db.Query(`/a`)
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("query: %v", err)
+	}
+	root := int32(res.Items()[0].I)
+	pre, err := u.InsertFirst(root, "c", "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.InsertAfter(pre, "d", ""); err != nil {
+		t.Fatal(err)
+	}
+	out, err := u.Snapshot().QueryString(`/a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `<a><c>new</c><d/><b>x</b></a>`; out != want {
+		t.Errorf("after updates: %s, want %s", out, want)
+	}
+	if err := u.SetAttr(root, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = u.Snapshot().Query(`//b`)
+	if err != nil || res.Len() != 1 {
+		t.Fatal("b lookup")
+	}
+	if err := u.Delete(int32(res.Items()[0].I)); err != nil {
+		t.Fatal(err)
+	}
+	out, err = u.Snapshot().QueryString(`/a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `<a k="v"><c>new</c><d/></a>`; out != want {
+		t.Errorf("after delete: %s, want %s", out, want)
+	}
+	// replace the text node under c
+	res, err = u.Snapshot().Query(`//c/text()`)
+	if err != nil || res.Len() != 1 {
+		t.Fatal("text lookup")
+	}
+	if err := u.ReplaceText(int32(res.Items()[0].I), "newer"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = u.Snapshot().QueryString(`string(//c)`)
+	if out != "newer" {
+		t.Errorf("ReplaceText: %s", out)
+	}
+}
+
+func TestQueryErrorsSurface(t *testing.T) {
+	db := Open()
+	if err := db.LoadDocumentString("books.xml", bookDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`for $x in`); err == nil {
+		t.Error("syntax error not surfaced")
+	}
+	if _, err := db.Query(`$nope`); err == nil {
+		t.Error("compile error not surfaced")
+	}
+	if _, err := db.Query(`exactly-one(())`); err == nil {
+		t.Error("runtime error not surfaced")
+	}
+}
