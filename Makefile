@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+# check is the CI gate: formatting, vet, build, and the full test suite
+# under the race detector (the parallel executor must stay race-clean).
+check: fmt vet build race
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

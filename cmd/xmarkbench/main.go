@@ -11,7 +11,13 @@
 //	xmarkbench -experiment shred    # shredding and serialization timings
 //	xmarkbench -experiment plans    # §4.1 plan statistics (ops/joins)
 //	xmarkbench -experiment updates  # §5.2 paged updates vs full rebuild
+//	xmarkbench -experiment parallel # serial vs parallel execution + multi-client throughput
 //	xmarkbench -experiment all
+//
+// The -parallel flag switches every experiment's MXQ engine to parallel
+// intra-query execution (worker pool sized by -workers, default
+// GOMAXPROCS); the parallel experiment always measures both modes and a
+// -clients sized multi-client throughput run.
 //
 // MXQ is this reproduction's relational engine; NAIVE is the DOM
 // interpreter standing in for the paper's non-relational comparators
@@ -22,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"mxq/internal/core"
@@ -39,7 +47,11 @@ var (
 	seedFlag    = flag.Int64("seed", 42, "generator seed")
 	runsFlag    = flag.Int("runs", 3, "report the best of N runs (the paper uses 5)")
 	timeoutFlag = flag.Duration("timeout", 60*time.Second, "per-query soft time limit; slower entries print DNF")
-	expFlag     = flag.String("experiment", "all", "experiment to run (table1, fig12, fig13, fig14, fig15, fig16, shred, plans, updates, all)")
+	expFlag     = flag.String("experiment", "all", "experiment to run (table1, fig12, fig13, fig14, fig15, fig16, shred, plans, updates, parallel, all)")
+
+	parallelFlag = flag.Bool("parallel", false, "run MXQ engines with intra-query parallel execution")
+	workersFlag  = flag.Int("workers", 0, "parallel worker goroutines (0 = GOMAXPROCS)")
+	clientsFlag  = flag.Int("clients", 4, "concurrent clients in the parallel experiment's throughput section")
 )
 
 func main() {
@@ -59,6 +71,7 @@ func main() {
 	run("shred", shred)
 	run("plans", plans)
 	run("updates", updates)
+	run("parallel", parallel)
 }
 
 func parseScales(s string) []float64 {
@@ -107,9 +120,103 @@ func fmtTime(d time.Duration, ok bool) string {
 }
 
 func engineFor(cfg core.Config, cont *store.Container) *core.Engine {
+	if *parallelFlag {
+		cfg.Parallel = true
+		cfg.Workers = *workersFlag
+	}
 	e := core.New(cfg)
 	e.LoadContainer(cont.Name, cont)
 	return e
+}
+
+// parallel measures intra-query parallelism (serial vs parallel per
+// XMark query, with speedups, at every requested scale) and
+// multi-client throughput on one shared engine — the two scaling axes
+// the parallel subsystem adds.
+func parallel(scales []float64) {
+	workers := *workersFlag
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var serialEng, parEng *core.Engine
+	for _, f := range scales {
+		fmt.Printf("\n== Parallel execution (%s, %d workers, GOMAXPROCS=%d) ==\n",
+			mb(f), workers, runtime.GOMAXPROCS(0))
+		cont := xmark.NewStoreContainer("auction.xml", f, *seedFlag)
+		serialEng = core.New(core.DefaultConfig())
+		serialEng.LoadContainer(cont.Name, cont)
+		parCfg := core.ParallelConfig()
+		parCfg.Workers = workers
+		parEng = core.New(parCfg)
+		parEng.LoadContainer(cont.Name, cont)
+
+		fmt.Printf("%-4s %12s %12s %8s\n", "Q", "serial", "parallel", "speedup")
+		var sumS, sumP time.Duration
+		allOK := true
+		for q := 1; q <= 20; q++ {
+			query := xmark.Query(q)
+			ds, okS := bestOf(func() error { _, err := serialEng.Query(query); return err })
+			dp, okP := bestOf(func() error { _, err := parEng.Query(query); return err })
+			allOK = allOK && okS && okP
+			sumS += ds
+			sumP += dp
+			ratio := "-"
+			if okS && okP && dp > 0 {
+				ratio = fmt.Sprintf("%.2fx", float64(ds)/float64(dp))
+			}
+			fmt.Printf("Q%-3d %12s %12s %8s\n", q, fmtTime(ds, okS), fmtTime(dp, okP), ratio)
+		}
+		sumRatio := "-"
+		if allOK && sumP > 0 {
+			sumRatio = fmt.Sprintf("%.2fx", float64(sumS)/float64(sumP))
+		}
+		fmt.Printf("%-4s %12s %12s %8s\n", "sum", fmtTime(sumS, allOK), fmtTime(sumP, allOK), sumRatio)
+	}
+
+	// multi-client throughput at the largest scale: C goroutines issue
+	// the cheap query mix against ONE engine (the concurrency-safety
+	// axis)
+	clients := *clientsFlag
+	if clients < 1 {
+		clients = 1
+	}
+	mix := []int{1, 2, 5, 6, 13, 15, 17, 20}
+	const perClient = 8
+	throughput := func(eng *core.Engine) (float64, error) {
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		start := time.Now()
+		for cl := 0; cl < clients; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					if _, err := eng.Query(xmark.Query(mix[(cl+i)%len(mix)])); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(cl)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+		return float64(clients*perClient) / time.Since(start).Seconds(), nil
+	}
+	fmt.Printf("\n-- throughput, %d concurrent clients x %d queries (one shared engine) --\n", clients, perClient)
+	for _, mode := range []struct {
+		label string
+		eng   *core.Engine
+	}{{"serial exec", serialEng}, {"parallel exec", parEng}} {
+		qps, err := throughput(mode.eng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput error:", err)
+			return
+		}
+		fmt.Printf("%-14s %8.1f queries/s\n", mode.label, qps)
+	}
 }
 
 // table1 reproduces Table 1: elapsed seconds for Q1–Q20 over growing

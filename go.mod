@@ -1,0 +1,3 @@
+module mxq
+
+go 1.24

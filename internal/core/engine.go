@@ -4,12 +4,30 @@
 // It corresponds to the paper's system picture in §5: the Pathfinder
 // compiler module on top of the MonetDB kernel with its XQuery runtime
 // module (loop-lifted staircase join and XML serialization).
+//
+// # Concurrency model
+//
+// An Engine is safe for concurrent use. Loaded documents are immutable;
+// the registry of documents (the store.Pool) is guarded by an RWMutex,
+// and every Query takes a cheap pool snapshot plus a fresh transient
+// container, so concurrent queries — and concurrent document loads —
+// never share mutable state. Compiled plans are immutable after
+// optimization and cached in a lock-protected LRU keyed by (context
+// document, query text); any number of in-flight queries may execute the
+// same cached plan. Result node items stay valid for the lifetime of the
+// Result (they pin the snapshot), even across later loads and queries.
+//
+// Intra-query parallelism (Config.Parallel) partitions the hot operators
+// of one plan across a bounded goroutine pool; it composes freely with
+// inter-query concurrency because each executor owns its intermediate
+// state.
 package core
 
 import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"mxq/internal/opt"
 	"mxq/internal/ralg"
@@ -28,42 +46,93 @@ type Config struct {
 	// sort elimination, refine sorts, streaming rank, positional joins,
 	// merge duplicate elimination (Figure 14's "order preserving").
 	OrderAware bool
-	// PlanCache re-uses compiled physical plans per query text (the
-	// paper's "physical query plan caching feature").
+	// PlanCache re-uses compiled physical plans per (context document,
+	// query text) pair (the paper's "physical query plan caching
+	// feature"). The cache is a concurrency-safe LRU.
 	PlanCache bool
+	// PlanCacheSize bounds the LRU plan cache; 0 means
+	// DefaultPlanCacheSize.
+	PlanCacheSize int
+	// Parallel enables intra-query parallel operator execution: the hot
+	// per-iter operators (staircase-join steps, row numbering,
+	// aggregation, selection, row-wise functions, hash join build/probe)
+	// partition their inputs across a bounded goroutine pool. Output is
+	// byte-identical to serial execution, which remains the
+	// differential-testing oracle.
+	Parallel bool
+	// Workers bounds the parallel goroutine pool; 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// ParallelThreshold is the minimum operator input size to go
+	// parallel; 0 means ralg.DefaultParThreshold.
+	ParallelThreshold int
 }
 
-// DefaultConfig is the full-strength engine configuration.
+// DefaultConfig is the full-strength engine configuration (parallel
+// execution stays opt-in so the default engine doubles as the serial
+// oracle).
 func DefaultConfig() Config {
 	return Config{Compiler: xqc.DefaultOptions(), OrderAware: true, PlanCache: true}
 }
 
-// Engine is one XQuery engine instance with its loaded documents.
+// ParallelConfig is DefaultConfig plus intra-query parallelism sized by
+// GOMAXPROCS.
+func ParallelConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Parallel = true
+	return cfg
+}
+
+// Engine is one XQuery engine instance with its loaded documents. It is
+// safe for concurrent use; see the package documentation for the
+// concurrency model.
 type Engine struct {
-	cfg         Config
-	pool        *store.Pool
-	defaultDoc  string
-	transientID int32
-	planCache   map[string]ralg.Plan
-	lastStats   ralg.ExecStats
-	lastPlan    ralg.Plan
+	cfg Config
+
+	mu         sync.RWMutex // guards pool registration and defaultDoc
+	pool       *store.Pool
+	defaultDoc string
+
+	cache *planCache // nil when plan caching is disabled
+
+	statsMu   sync.Mutex
+	lastStats ralg.ExecStats
 }
 
 // New returns an engine with the given configuration.
 func New(cfg Config) *Engine {
-	e := &Engine{cfg: cfg, pool: store.NewPool(), planCache: make(map[string]ralg.Plan)}
-	// reserve the transient container slot
-	tr := store.NewContainer("")
-	e.pool.Register(tr)
-	e.transientID = tr.ID
+	e := &Engine{cfg: cfg, pool: store.NewPool()}
+	if cfg.PlanCache {
+		e.cache = newPlanCache(cfg.PlanCacheSize)
+	}
 	return e
 }
 
 // Pool exposes the container pool (used by benchmarks and tests).
+// Callers must not register containers directly while queries are in
+// flight; use LoadContainer.
 func (e *Engine) Pool() *store.Pool { return e.pool }
 
+// parOptions resolves the configured parallelism knobs against the
+// ralg defaults.
+func (e *Engine) parOptions() ralg.ParOptions {
+	if !e.cfg.Parallel {
+		return ralg.ParOptions{}
+	}
+	p := ralg.DefaultParOptions()
+	if e.cfg.Workers > 0 {
+		p.Workers = e.cfg.Workers
+	}
+	if e.cfg.ParallelThreshold > 0 {
+		p.Threshold = e.cfg.ParallelThreshold
+	}
+	return p
+}
+
 // LoadXML shreds and registers a document; the first document loaded
-// becomes the context document of absolute paths.
+// becomes the context document of absolute paths. Loading is safe while
+// queries run: in-flight queries keep seeing their snapshot of the
+// loaded documents.
 func (e *Engine) LoadXML(name string, r io.Reader) error {
 	c, err := store.Shred(name, r, false)
 	if err != nil {
@@ -76,15 +145,21 @@ func (e *Engine) LoadXML(name string, r io.Reader) error {
 // LoadContainer registers a pre-shredded document.
 func (e *Engine) LoadContainer(name string, c *store.Container) {
 	c.Name = name
+	e.mu.Lock()
 	e.pool.Register(c)
 	c.BuildIndexes()
 	if e.defaultDoc == "" {
 		e.defaultDoc = name
 	}
+	e.mu.Unlock()
 }
 
 // SetContextDocument selects the document absolute paths refer to.
-func (e *Engine) SetContextDocument(name string) { e.defaultDoc = name }
+func (e *Engine) SetContextDocument(name string) {
+	e.mu.Lock()
+	e.defaultDoc = name
+	e.mu.Unlock()
+}
 
 // Result is a query result: the item sequence plus access to the
 // containers the node items live in.
@@ -96,8 +171,16 @@ type Result struct {
 // Compile parses and compiles a query to its physical plan (optimized
 // according to the engine configuration) without executing it.
 func (e *Engine) Compile(q string) (ralg.Plan, error) {
-	if e.cfg.PlanCache {
-		if p, ok := e.planCache[q]; ok {
+	e.mu.RLock()
+	doc := e.defaultDoc
+	e.mu.RUnlock()
+	return e.compile(q, doc)
+}
+
+func (e *Engine) compile(q, doc string) (ralg.Plan, error) {
+	key := doc + "\x00" + q
+	if e.cache != nil {
+		if p, ok := e.cache.get(key); ok {
 			return p, nil
 		}
 	}
@@ -105,43 +188,53 @@ func (e *Engine) Compile(q string) (ralg.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := xqc.Compile(m, e.defaultDoc, e.cfg.Compiler)
+	plan, err := xqc.Compile(m, doc, e.cfg.Compiler)
 	if err != nil {
 		return nil, err
 	}
 	if e.cfg.OrderAware {
 		plan = opt.Optimize(plan)
 	}
-	if e.cfg.PlanCache {
-		e.planCache[q] = plan
+	if e.cache != nil {
+		e.cache.put(key, plan)
 	}
 	return plan, nil
 }
 
 // Query evaluates q and returns its result. Node items in the result
-// remain valid until the next Query call on this engine (they may live in
-// the per-query transient container, which is recycled).
+// stay valid for the lifetime of the Result: constructed nodes live in a
+// per-query transient container owned by the result's pool snapshot.
 func (e *Engine) Query(q string) (*Result, error) {
-	plan, err := e.Compile(q)
+	e.mu.RLock()
+	doc := e.defaultDoc
+	qp := e.pool.Snapshot()
+	e.mu.RUnlock()
+	plan, err := e.compile(q, doc)
 	if err != nil {
 		return nil, err
 	}
 	transient := store.NewContainer("")
-	e.pool.Replace(e.transientID, transient)
-	ex := ralg.NewExec(e.pool, transient)
+	qp.Register(transient)
+	ex := ralg.NewExec(qp, transient)
+	ex.Par = e.parOptions()
 	tab, err := ex.Run(plan)
 	if err != nil {
 		return nil, err
 	}
+	e.statsMu.Lock()
 	e.lastStats = ex.Stats
-	e.lastPlan = plan
+	e.statsMu.Unlock()
 	items := make([]xqt.Item, tab.N)
 	copy(items, tab.Items("item"))
-	return &Result{Items: items, pool: e.pool}, nil
+	return &Result{Items: items, pool: qp}, nil
 }
 
 // LastStats returns the executor counters of the most recent Query.
-func (e *Engine) LastStats() ralg.ExecStats { return e.lastStats }
+func (e *Engine) LastStats() ralg.ExecStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.lastStats
+}
 
 // PlanStats returns the operator and join counts of a compiled query
 // (the §4.1 plan statistics).

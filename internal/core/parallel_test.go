@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mxq/internal/naive"
+	"mxq/internal/scj"
+	"mxq/internal/xmark"
+)
+
+// parallelTestConfig forces every parallel code path on (threshold 1,
+// several workers) so that even the small test documents exercise the
+// chunked operators.
+func parallelTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Parallel = true
+	cfg.Workers = 4
+	cfg.ParallelThreshold = 1
+	return cfg
+}
+
+// TestParallelDifferentialAgainstNaive runs the whole differential
+// corpus through parallel execution (in several compiler ablations) and
+// checks against the naive DOM oracle.
+func TestParallelDifferentialAgainstNaive(t *testing.T) {
+	oracle := naive.New()
+	if err := oracle.LoadXML("auction.xml", strings.NewReader(auctionDoc)); err != nil {
+		t.Fatal(err)
+	}
+	iter := parallelTestConfig()
+	iter.Compiler.ChildVariant = scj.Iterative
+	iter.Compiler.DescVariant = scj.Iterative
+	noPush := parallelTestConfig()
+	noPush.Compiler.NametestPushdown = false
+	cfgs := map[string]Config{
+		"parallel-full":       parallelTestConfig(),
+		"parallel-iterative":  iter,
+		"parallel-nopushdown": noPush,
+	}
+	for cname, cfg := range cfgs {
+		eng := New(cfg)
+		if err := eng.LoadXML("auction.xml", strings.NewReader(auctionDoc)); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range corpus {
+			want, err := oracle.QueryString(q)
+			if err != nil {
+				t.Fatalf("oracle failed on %s: %v", q, err)
+			}
+			got, err := eng.QueryString(q)
+			if err != nil {
+				t.Errorf("[%s] engine error on %s: %v", cname, q, err)
+				continue
+			}
+			if got != want {
+				t.Errorf("[%s] mismatch on %s:\n got  %q\n want %q", cname, q, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelXMarkDifferential is the three-way differential suite on a
+// generated XMark document: serial execution, parallel execution and the
+// naive DOM oracle must produce byte-identical serialized results for
+// all twenty benchmark queries, including sequence and document order.
+func TestParallelXMarkDifferential(t *testing.T) {
+	cont := xmark.NewStoreContainer("auction.xml", 0.005, 42)
+	serial := New(DefaultConfig())
+	serial.LoadContainer("auction.xml", cont)
+	parallel := New(parallelTestConfig())
+	parallel.LoadContainer("auction.xml", cont)
+	oracle := naive.New()
+	oracle.LoadContainer("auction.xml", cont)
+	for q := 1; q <= 20; q++ {
+		query := xmark.Query(q)
+		want, err := oracle.QueryString(query)
+		if err != nil {
+			t.Fatalf("Q%d oracle: %v", q, err)
+		}
+		gotS, err := serial.QueryString(query)
+		if err != nil {
+			t.Fatalf("Q%d serial: %v", q, err)
+		}
+		gotP, err := parallel.QueryString(query)
+		if err != nil {
+			t.Fatalf("Q%d parallel: %v", q, err)
+		}
+		if gotS != want {
+			t.Errorf("Q%d: serial differs from oracle\n got  %.200q\n want %.200q", q, gotS, want)
+		}
+		if gotP != gotS {
+			t.Errorf("Q%d: parallel differs from serial\n got  %.200q\n want %.200q", q, gotP, gotS)
+		}
+	}
+}
+
+// Plan cache behavior: LRU eviction respects the configured capacity,
+// and cached plans are keyed by context document.
+func TestPlanCacheLRU(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PlanCacheSize = 2
+	eng := New(cfg)
+	if err := eng.LoadXML("auction.xml", strings.NewReader(auctionDoc)); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{`1`, `2`, `3`, `4`} {
+		if _, err := eng.Compile(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.cache.len(); got != 2 {
+		t.Errorf("cache holds %d plans, want 2", got)
+	}
+	// the most recent entry must be a hit (pointer identity)
+	p1, _ := eng.Compile(`4`)
+	p2, _ := eng.Compile(`4`)
+	if p1 != p2 {
+		t.Error("LRU did not retain the most recent plan")
+	}
+}
+
+func TestPlanCacheKeyedByContextDocument(t *testing.T) {
+	eng := New(DefaultConfig())
+	if err := eng.LoadXML("a.xml", strings.NewReader(`<r><x/></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadXML("b.xml", strings.NewReader(`<r><x/><x/></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.QueryString(`count(/r/x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "1" {
+		t.Fatalf("against a.xml: got %q, want 1", got)
+	}
+	eng.SetContextDocument("b.xml")
+	got, err = eng.QueryString(`count(/r/x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "2" {
+		t.Errorf("after SetContextDocument: got %q, want 2 (stale cached plan?)", got)
+	}
+}
+
+// Results must stay valid after later loads and queries: each query pins
+// its own pool snapshot and transient container.
+func TestResultOutlivesLaterQueries(t *testing.T) {
+	eng := New(DefaultConfig())
+	if err := eng.LoadXML("auction.xml", strings.NewReader(auctionDoc)); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := eng.Query(`<x n="{count(//item)}">{/site/people/person[1]/name/text()}</x>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r1.String()
+	if _, err := eng.Query(`<y>{count(//person)}</y>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadXML("other.xml", strings.NewReader(`<z/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if after := r1.String(); after != before {
+		t.Errorf("result changed after later activity:\n before %q\n after  %q", before, after)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"mxq/internal/ralg"
+)
+
+// DefaultPlanCacheSize bounds the compiled-plan cache when
+// Config.PlanCacheSize is zero.
+const DefaultPlanCacheSize = 256
+
+// planCache is a concurrency-safe LRU cache of compiled physical plans,
+// keyed by (context document, query text). Plans are immutable after
+// optimization, so one cached plan may be executed by any number of
+// concurrent queries; each execution keeps its own memo table and
+// transient container.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used
+}
+
+type planEntry struct {
+	key  string
+	plan ralg.Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &planCache{cap: capacity, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+func (c *planCache) get(key string) (ralg.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*planEntry).plan, true
+}
+
+func (c *planCache) put(key string, p ralg.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*planEntry).plan = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&planEntry{key: key, plan: p})
+	for c.lru.Len() > c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.m, last.Value.(*planEntry).key)
+	}
+}
+
+// Len returns the number of cached plans (used by tests).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,100 @@
+package ralg
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"mxq/internal/scj"
+	"mxq/internal/store"
+	"mxq/internal/xmark"
+	"mxq/internal/xqt"
+)
+
+var (
+	stepBenchOnce sync.Once
+	stepBenchPool *store.Pool
+	stepBenchTab  *Table
+)
+
+// stepBenchSetup builds an XMark document and a single-context descendant
+// step input (the //item workhorse shape: one context node, huge region).
+func stepBenchSetup() {
+	stepBenchOnce.Do(func() {
+		cont := xmark.NewStoreContainer("auction.xml", 0.02, 42)
+		cont.BuildIndexes()
+		stepBenchPool = store.NewPool()
+		stepBenchPool.Register(cont)
+		tab := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
+		tab.N = 1
+		tab.Col("iter").Int = []int64{1}
+		tab.Col("item").Item = []xqt.Item{xqt.Node(cont.ID, 0)}
+		stepBenchTab = tab
+	})
+}
+
+func benchmarkStep(b *testing.B, par ParOptions) {
+	stepBenchSetup()
+	n := &Step{
+		unary:   unary{In: &Lit{Tab: stepBenchTab}},
+		Axis:    scj.Descendant,
+		Test:    scj.Test{Kind: scj.TestElem, Name: "item"},
+		Variant: scj.LoopLifted,
+		IterCol: "iter",
+		ItemCol: "item",
+	}
+	ex := NewExec(stepBenchPool, nil)
+	ex.Par = par
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.execStep(n, stepBenchTab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStepSerial(b *testing.B) { benchmarkStep(b, ParOptions{}) }
+
+// BenchmarkStepParallel forces at least two workers so the parallel code
+// path is exercised (and its overhead visible) even on single-core hosts.
+func BenchmarkStepParallel(b *testing.B) {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	benchmarkStep(b, ParOptions{Workers: w, Threshold: DefaultParThreshold})
+}
+
+func benchmarkHashJoin(b *testing.B, par ParOptions) {
+	const nl, nr = 200000, 50000
+	l := NewTable([]string{"k"}, []ColKind{KInt})
+	l.N = nl
+	for i := 0; i < nl; i++ {
+		l.Col("k").Int = append(l.Col("k").Int, int64(i%nr))
+	}
+	r := NewTable([]string{"k", "v"}, []ColKind{KInt, KInt})
+	r.N = nr
+	for j := 0; j < nr; j++ {
+		r.Col("k").Int = append(r.Col("k").Int, int64(j))
+		r.Col("v").Int = append(r.Col("v").Int, int64(j)*3)
+	}
+	n := NewHashJoin(&Lit{Tab: l}, &Lit{Tab: r}, "k", "k", Refs("k"), Refs("v"))
+	ex := NewExec(store.NewPool(), nil)
+	ex.Par = par
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.execHashJoin(n, l, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinSerial(b *testing.B) { benchmarkHashJoin(b, ParOptions{}) }
+
+func BenchmarkHashJoinParallel(b *testing.B) {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	benchmarkHashJoin(b, ParOptions{Workers: w, Threshold: DefaultParThreshold})
+}

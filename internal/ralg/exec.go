@@ -32,11 +32,16 @@ type ExecStats struct {
 const MaxRows = 64 << 20
 
 // Exec evaluates plan DAGs against a container pool. Shared sub-plans are
-// evaluated once and their results re-used.
+// evaluated once and their results re-used. Setting Par enables
+// intra-query parallel operator execution (see parallel.go); the output
+// is identical to serial execution either way. One Exec evaluates one
+// query; concurrent queries each get their own Exec (and their own
+// transient container), sharing only the read-only document containers.
 type Exec struct {
 	Pool      *store.Pool
 	Transient *store.Container
 	Stats     ExecStats
+	Par       ParOptions
 
 	memo map[Plan]*Table
 }
@@ -83,11 +88,11 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 	case *Attach:
 		return execAttach(n, in[0]), nil
 	case *Select:
-		return execSelect(n, in[0]), nil
+		return e.execSelect(n, in[0]), nil
 	case *Fun:
 		return e.execFun(n, in[0])
 	case *RowNum:
-		return execRowNum(n, in[0]), nil
+		return e.execRowNum(n, in[0]), nil
 	case *Sort:
 		return e.execSort(n, in[0]), nil
 	case *HashJoin:
@@ -103,7 +108,7 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 	case *Distinct:
 		return execDistinct(n, in[0]), nil
 	case *Aggr:
-		return execAggr(n, in[0])
+		return e.execAggr(n, in[0])
 	case *Step:
 		return e.execStep(n, in[0])
 	case *AttrStep:
@@ -231,29 +236,71 @@ func execAttach(n *Attach, in *Table) *Table {
 	return out
 }
 
-func execSelect(n *Select, in *Table) *Table {
+func (e *Exec) execSelect(n *Select, in *Table) *Table {
 	cond := in.Bools(n.Cond)
-	idx := make([]int32, 0, in.N/2)
-	for i, b := range cond {
-		if b != n.Neg {
-			idx = append(idx, int32(i))
+	if !e.Par.on(in.N) {
+		idx := make([]int32, 0, in.N/2)
+		for i, b := range cond {
+			if b != n.Neg {
+				idx = append(idx, int32(i))
+			}
 		}
+		return in.Gather(idx)
 	}
-	return in.Gather(idx)
+	rs := splitRows(in.N, e.Par.Workers)
+	parts := make([][]int32, len(rs))
+	e.Par.parRun(len(rs), func(k int) {
+		local := make([]int32, 0, (rs[k][1]-rs[k][0])/2+1)
+		for i := rs[k][0]; i < rs[k][1]; i++ {
+			if cond[i] != n.Neg {
+				local = append(local, int32(i))
+			}
+		}
+		parts[k] = local
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	idx := make([]int32, 0, total)
+	for _, p := range parts {
+		idx = append(idx, p...)
+	}
+	return e.gather(in, idx)
 }
 
-func execRowNum(n *RowNum, in *Table) *Table {
+// seqRank numbers rows 1.. per contiguous part run within [lo, hi); lo
+// must start a run.
+func seqRank(part, rank []int64, lo, hi int) {
+	var cur int64
+	var k int64
+	for i := lo; i < hi; i++ {
+		if i == lo || part[i] != cur {
+			cur, k = part[i], 0
+		}
+		k++
+		rank[i] = k
+	}
+}
+
+func (e *Exec) execRowNum(n *RowNum, in *Table) *Table {
 	rank := make([]int64, in.N)
 	switch n.Mode {
 	case RankStream:
 		// hash-based numbering in arrival order per group (§4.1): valid
 		// under grpord(OrderBy, Part)
 		if n.Part == "" {
-			for i := range rank {
-				rank[i] = int64(i) + 1
-			}
+			e.parFill(in.N, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					rank[i] = int64(i) + 1
+				}
+			})
+		} else if part := in.Ints(n.Part); e.Par.on(in.N) && int64sNonDecreasing(part) {
+			// clustered groups: arrival-order counters equal run-local
+			// numbering, which partitions at group boundaries
+			rs := splitRuns(in.N, e.Par.Workers, func(i int) bool { return part[i] != part[i-1] })
+			e.Par.parRun(len(rs), func(k int) { seqRank(part, rank, rs[k][0], rs[k][1]) })
 		} else {
-			part := in.Ints(n.Part)
 			ctr := make(map[int64]int64, 64)
 			for i := range rank {
 				ctr[part[i]]++
@@ -262,20 +309,18 @@ func execRowNum(n *RowNum, in *Table) *Table {
 		}
 	case RankSeq:
 		if n.Part == "" {
-			for i := range rank {
-				rank[i] = int64(i) + 1
-			}
-		} else {
-			part := in.Ints(n.Part)
-			var cur int64
-			var k int64
-			for i := range rank {
-				if i == 0 || part[i] != cur {
-					cur, k = part[i], 0
+			e.parFill(in.N, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					rank[i] = int64(i) + 1
 				}
-				k++
-				rank[i] = k
-			}
+			})
+		} else if part := in.Ints(n.Part); e.Par.on(in.N) {
+			// the RankSeq contract guarantees (Part, OrderBy) sort order,
+			// so group-aligned chunks number independently
+			rs := splitRuns(in.N, e.Par.Workers, func(i int) bool { return part[i] != part[i-1] })
+			e.Par.parRun(len(rs), func(k int) { seqRank(part, rank, rs[k][0], rs[k][1]) })
+		} else {
+			seqRank(part, rank, 0, in.N)
 		}
 	default: // RankSort
 		by := n.OrderBy
@@ -332,48 +377,72 @@ func (e *Exec) execHashJoin(n *HashJoin, l, r *Table) (*Table, error) {
 	if n.Pos && r.N > 0 {
 		e.Stats.PosJoins++
 		base := rkey[0]
-		for i, k := range lkey {
-			j := k - base
-			if j >= 0 && j < int64(r.N) {
-				lidx = append(lidx, int32(i))
-				ridx = append(ridx, int32(j))
+		lidx, ridx = e.parPairs(l.N, func(lo, hi int) ([]int32, []int32) {
+			var li, ri []int32
+			for i := lo; i < hi; i++ {
+				j := lkey[i] - base
+				if j >= 0 && j < int64(r.N) {
+					li = append(li, int32(i))
+					ri = append(ri, int32(j))
+				}
 			}
-		}
+			return li, ri
+		})
 	} else if n.PosLeft && l.N > 0 {
 		e.Stats.PosJoins++
 		base := lkey[0]
-		for j, k := range rkey {
-			i := k - base
-			if i >= 0 && i < int64(l.N) {
-				lidx = append(lidx, int32(i))
-				ridx = append(ridx, int32(j))
+		lidx, ridx = e.parPairs(r.N, func(lo, hi int) ([]int32, []int32) {
+			var li, ri []int32
+			for j := lo; j < hi; j++ {
+				i := rkey[j] - base
+				if i >= 0 && i < int64(l.N) {
+					li = append(li, int32(i))
+					ri = append(ri, int32(j))
+				}
 			}
-		}
+			return li, ri
+		})
 	} else {
 		e.Stats.HashJoins++
-		ht := make(map[int64][]int32, r.N)
-		for j, k := range rkey {
-			ht[k] = append(ht[k], int32(j))
-		}
-		for i, k := range lkey {
-			for _, j := range ht[k] {
-				lidx = append(lidx, int32(i))
-				ridx = append(ridx, j)
+		ht := e.buildHashTable(rkey)
+		lidx, ridx = e.parPairs(l.N, func(lo, hi int) ([]int32, []int32) {
+			var li, ri []int32
+			for i := lo; i < hi; i++ {
+				for _, j := range ht.lookup(lkey[i]) {
+					li = append(li, int32(i))
+					ri = append(ri, j)
+				}
 			}
-		}
+			return li, ri
+		})
 	}
-	return joinGather(l, r, n.LCols, n.RCols, lidx, ridx)
+	return e.joinGather(l, r, n.LCols, n.RCols, lidx, ridx)
 }
 
-func joinGather(l, r *Table, lcols, rcols []ColRef, lidx, ridx []int32) (*Table, error) {
+func (e *Exec) joinGather(l, r *Table, lcols, rcols []ColRef, lidx, ridx []int32) (*Table, error) {
 	out := &Table{N: len(lidx)}
+	ncols := len(lcols) + len(rcols)
+	out.names = make([]string, 0, ncols)
+	out.cols = make([]Col, ncols)
 	for _, ref := range lcols {
 		out.names = append(out.names, ref.Dst)
-		out.cols = append(out.cols, l.Col(ref.Src).Gather(lidx))
 	}
 	for _, ref := range rcols {
 		out.names = append(out.names, ref.Dst)
-		out.cols = append(out.cols, r.Col(ref.Src).Gather(ridx))
+	}
+	fill := func(i int) {
+		if i < len(lcols) {
+			out.cols[i] = l.Col(lcols[i].Src).Gather(lidx)
+		} else {
+			out.cols[i] = r.Col(rcols[i-len(lcols)].Src).Gather(ridx)
+		}
+	}
+	if e.Par.on(len(lidx)) && ncols > 1 {
+		e.Par.parRun(ncols, fill)
+	} else {
+		for i := 0; i < ncols; i++ {
+			fill(i)
+		}
 	}
 	return out, nil
 }
@@ -392,7 +461,7 @@ func (e *Exec) execCross(n *Cross, l, r *Table) (*Table, error) {
 			ridx = append(ridx, int32(j))
 		}
 	}
-	return joinGather(l, r, n.LCols, n.RCols, lidx, ridx)
+	return e.joinGather(l, r, n.LCols, n.RCols, lidx, ridx)
 }
 
 func execUnion(in []*Table) *Table {
@@ -503,12 +572,41 @@ func appendInt(buf []byte, v int64) []byte {
 	return buf
 }
 
-func execAggr(n *Aggr, in *Table) (*Table, error) {
+func (e *Exec) execAggr(n *Aggr, in *Table) (*Table, error) {
 	part := in.Ints(n.Part)
 	var arg []xqt.Item
 	if n.Op != AggCount {
 		arg = in.Items(n.Arg)
 	}
+	if e.Par.on(in.N) && int64sNonDecreasing(part) {
+		// clustered groups: chunk at group boundaries so every group is
+		// accumulated by one worker in serial order (this keeps
+		// floating-point sums bit-identical to serial execution)
+		rs := splitRuns(in.N, e.Par.Workers, func(i int) bool { return part[i] != part[i-1] })
+		pcs := make([][]int64, len(rs))
+		vcs := make([][]xqt.Item, len(rs))
+		e.Par.parRun(len(rs), func(k int) {
+			pcs[k], vcs[k] = aggrRange(n, part, arg, rs[k][0], rs[k][1])
+		})
+		out := NewTable([]string{n.Part, n.Out}, []ColKind{KInt, KItem})
+		for k := range pcs {
+			out.Col(n.Part).Int = append(out.Col(n.Part).Int, pcs[k]...)
+			out.Col(n.Out).Item = append(out.Col(n.Out).Item, vcs[k]...)
+		}
+		out.N = out.Col(n.Part).Len()
+		return out, nil
+	}
+	pc, vc := aggrRange(n, part, arg, 0, in.N)
+	out := NewTable([]string{n.Part, n.Out}, []ColKind{KInt, KItem})
+	out.N = len(pc)
+	out.Col(n.Part).Int = pc
+	out.Col(n.Out).Item = vc
+	return out, nil
+}
+
+// aggrRange aggregates rows [lo, hi) by part, returning one (part, value)
+// row per group in first-appearance order.
+func aggrRange(n *Aggr, part []int64, arg []xqt.Item, lo, hi int) ([]int64, []xqt.Item) {
 	type group struct {
 		cnt    int64
 		sumF   float64
@@ -518,7 +616,7 @@ func execAggr(n *Aggr, in *Table) (*Table, error) {
 	}
 	order := make([]int64, 0, 64)
 	groups := make(map[int64]*group, 64)
-	for i := 0; i < in.N; i++ {
+	for i := lo; i < hi; i++ {
 		g := groups[part[i]]
 		if g == nil {
 			g = &group{allInt: true}
@@ -545,8 +643,6 @@ func execAggr(n *Aggr, in *Table) (*Table, error) {
 			}
 		}
 	}
-	out := NewTable([]string{n.Part, n.Out}, []ColKind{KInt, KItem})
-	out.N = len(order)
 	pc := make([]int64, len(order))
 	vc := make([]xqt.Item, len(order))
 	for i, p := range order {
@@ -567,9 +663,7 @@ func execAggr(n *Aggr, in *Table) (*Table, error) {
 			vc[i] = g.minmax
 		}
 	}
-	out.Col(n.Part).Int = pc
-	out.Col(n.Out).Item = vc
-	return out, nil
+	return pc, vc
 }
 
 // stepInputSorted verifies the (item, iter) sort contract of Step inputs.
@@ -621,13 +715,23 @@ func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
 			j++
 		}
 		c := e.Pool.Get(cont)
-		res := scj.Step(c, ctx, n.Axis, n.Test, n.Variant, &e.Stats.Step)
+		var res scj.Pairs
+		if e.Par.Workers > 1 {
+			res = scj.ParallelStep(c, ctx, n.Axis, n.Test, n.Variant, e.Par.Workers, e.Par.Threshold, &e.Stats.Step)
+		} else {
+			res = scj.Step(c, ctx, n.Axis, n.Test, n.Variant, &e.Stats.Step)
+		}
 		ic := out.Col("iter")
 		tc := out.Col("item")
-		for k := 0; k < res.Len(); k++ {
-			ic.Int = append(ic.Int, int64(res.Iter[k]))
-			tc.Item = append(tc.Item, xqt.Node(cont, res.Pre[k]))
-		}
+		base := ic.Len()
+		ic.Int = append(ic.Int, make([]int64, res.Len())...)
+		tc.Item = append(tc.Item, make([]xqt.Item, res.Len())...)
+		e.parFill(res.Len(), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				ic.Int[base+k] = int64(res.Iter[k])
+				tc.Item[base+k] = xqt.Node(cont, res.Pre[k])
+			}
+		})
 		i = j
 	}
 	out.N = out.Col("iter").Len()
@@ -641,10 +745,36 @@ func (e *Exec) execAttrStep(n *AttrStep, in *Table) (*Table, error) {
 		return nil, fmt.Errorf("ralg: attribute step input not sorted on (item, iter)")
 	}
 	out := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
-	ic := out.Col("iter")
-	tc := out.Col("item")
-	i := 0
-	for i < len(items) {
+	if e.Par.on(in.N) {
+		// chunk at identical-item run boundaries: each run is resolved by
+		// one worker, so concatenating chunk outputs reproduces the
+		// serial (attribute, iter) order
+		rs := splitRuns(in.N, e.Par.Workers, func(i int) bool { return items[i] != items[i-1] })
+		ics := make([][]int64, len(rs))
+		tcs := make([][]xqt.Item, len(rs))
+		e.Par.parRun(len(rs), func(k int) {
+			ics[k], tcs[k] = e.attrStepRange(n, iters, items, rs[k][0], rs[k][1])
+		})
+		for k := range ics {
+			out.Col("iter").Int = append(out.Col("iter").Int, ics[k]...)
+			out.Col("item").Item = append(out.Col("item").Item, tcs[k]...)
+		}
+	} else {
+		ic, tc := e.attrStepRange(n, iters, items, 0, in.N)
+		out.Col("iter").Int = ic
+		out.Col("item").Item = tc
+	}
+	out.N = out.Col("iter").Len()
+	return out, nil
+}
+
+// attrStepRange resolves the attribute axis for input rows [lo, hi); lo
+// must start a run of identical context items.
+func (e *Exec) attrStepRange(n *AttrStep, iters []int64, items []xqt.Item, lo, hi int) ([]int64, []xqt.Item) {
+	var ic []int64
+	var tc []xqt.Item
+	i := lo
+	for i < hi {
 		if items[i].K != xqt.KNode {
 			i++
 			continue
@@ -652,27 +782,26 @@ func (e *Exec) execAttrStep(n *AttrStep, in *Table) (*Table, error) {
 		// group the run of identical context nodes so the output stays
 		// (attribute, iter)-ordered
 		j := i
-		for j < len(items) && items[j] == items[i] {
+		for j < hi && items[j] == items[i] {
 			j++
 		}
 		c := e.Pool.Get(items[i].Cont)
 		pre := int32(items[i].I)
 		if c.Kind[pre] == store.KindElem {
-			ac, lo, hi := c.Attrs(pre)
-			for a := lo; a < hi; a++ {
+			ac, alo, ahi := c.Attrs(pre)
+			for a := alo; a < ahi; a++ {
 				if n.NameTest != "" && ac.Names.Name(ac.AttrName[a]) != n.NameTest {
 					continue
 				}
 				for k := i; k < j; k++ {
-					ic.Int = append(ic.Int, iters[k])
-					tc.Item = append(tc.Item, xqt.Attr(ac.ID, a))
+					ic = append(ic, iters[k])
+					tc = append(tc, xqt.Attr(ac.ID, a))
 				}
 			}
 		}
 		i = j
 	}
-	out.N = ic.Len()
-	return out, nil
+	return ic, tc
 }
 
 func execEBV(n *EBV, in *Table) (*Table, error) {
@@ -747,27 +876,34 @@ func (e *Exec) atomize(it xqt.Item) xqt.Item {
 	return it
 }
 
+// execFun evaluates row-wise functions. Each case fills its output
+// column through parFill, so large inputs are computed on row chunks in
+// parallel (every row is independent; atomization only reads containers).
 func (e *Exec) execFun(n *Fun, in *Table) (*Table, error) {
 	out := &Table{N: in.N, names: append([]string(nil), in.names...), cols: append([]Col(nil), in.cols...)}
 	switch n.Op {
 	case FunAnd, FunOr:
 		a, b := in.Bools(n.Args[0]), in.Bools(n.Args[1])
 		c := make([]bool, in.N)
-		for i := range c {
-			if n.Op == FunAnd {
-				c[i] = a[i] && b[i]
-			} else {
-				c[i] = a[i] || b[i]
+		e.parFill(in.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if n.Op == FunAnd {
+					c[i] = a[i] && b[i]
+				} else {
+					c[i] = a[i] || b[i]
+				}
 			}
-		}
+		})
 		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
 		return out, nil
 	case FunNot:
 		a := in.Bools(n.Args[0])
 		c := make([]bool, in.N)
-		for i := range c {
-			c[i] = !a[i]
-		}
+		e.parFill(in.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c[i] = !a[i]
+			}
+		})
 		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
 		return out, nil
 	}
@@ -797,94 +933,111 @@ func (e *Exec) execFun(n *Fun, in *Table) (*Table, error) {
 			FunLe: xqt.CmpLe, FunGt: xqt.CmpGt, FunGe: xqt.CmpGe}[n.Op]
 		g0, g1 := getter(n.Args[0]), getter(n.Args[1])
 		c := make([]bool, in.N)
-		for i := range c {
-			c[i] = xqt.Compare(e.atomize(g0(i)), e.atomize(g1(i)), op)
-		}
+		e.parFill(in.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c[i] = xqt.Compare(e.atomize(g0(i)), e.atomize(g1(i)), op)
+			}
+		})
 		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
 		return out, nil
 	case FunNodeBefore, FunNodeAfter, FunNodeIs:
 		c := make([]bool, in.N)
-		for i := range c {
-			a, b := args[0][i], args[1][i]
-			switch n.Op {
-			case FunNodeIs:
-				c[i] = a == b
-			case FunNodeBefore:
-				c[i] = xqt.DocOrderLess(a, b, e.Pool.AttrOwnerOf)
-			default:
-				c[i] = xqt.DocOrderLess(b, a, e.Pool.AttrOwnerOf)
+		e.parFill(in.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a, b := args[0][i], args[1][i]
+				switch n.Op {
+				case FunNodeIs:
+					c[i] = a == b
+				case FunNodeBefore:
+					c[i] = xqt.DocOrderLess(a, b, e.Pool.AttrOwnerOf)
+				default:
+					c[i] = xqt.DocOrderLess(b, a, e.Pool.AttrOwnerOf)
+				}
 			}
-		}
+		})
 		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
 		return out, nil
 	case FunContains, FunStartsWith:
 		c := make([]bool, in.N)
-		for i := range c {
-			a := e.atomize(args[0][i]).AsString()
-			b := e.atomize(args[1][i]).AsString()
-			if n.Op == FunContains {
-				c[i] = strings.Contains(a, b)
-			} else {
-				c[i] = strings.HasPrefix(a, b)
+		e.parFill(in.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a := e.atomize(args[0][i]).AsString()
+				b := e.atomize(args[1][i]).AsString()
+				if n.Op == FunContains {
+					c[i] = strings.Contains(a, b)
+				} else {
+					c[i] = strings.HasPrefix(a, b)
+				}
 			}
-		}
+		})
 		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
 		return out, nil
 	case FunIsNumeric:
 		c := make([]bool, in.N)
-		for i := range c {
-			c[i] = args[0][i].IsNumeric()
-		}
+		e.parFill(in.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c[i] = args[0][i].IsNumeric()
+			}
+		})
 		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
 		return out, nil
 	case FunEbvAtom:
 		c := make([]bool, in.N)
-		for i := range c {
-			it := args[0][i]
-			if it.IsNode() {
-				c[i] = true
-			} else {
-				c[i] = ebvAtom(it)
+		e.parFill(in.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				it := args[0][i]
+				if it.IsNode() {
+					c[i] = true
+				} else {
+					c[i] = ebvAtom(it)
+				}
 			}
-		}
+		})
 		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
 		return out, nil
 	}
 
-	c := make([]xqt.Item, in.N)
-	for i := range c {
-		switch n.Op {
-		case FunAdd, FunSub, FunMul, FunDiv, FunIDiv, FunMod:
-			c[i] = arith(n.Op, e.atomize(args[0][i]), e.atomize(args[1][i]))
-		case FunNeg:
-			a := e.atomize(args[0][i])
-			if a.K == xqt.KInt {
-				c[i] = xqt.Int(-a.I)
-			} else {
-				c[i] = xqt.Double(-a.AsDouble())
-			}
-		case FunAtomize:
-			c[i] = e.atomize(args[0][i])
-		case FunStringOf:
-			c[i] = xqt.Str(e.atomize(args[0][i]).AsString())
-		case FunNumber:
-			c[i] = xqt.Double(e.atomize(args[0][i]).AsDouble())
-		case FunConcat:
-			c[i] = xqt.Str(e.atomize(args[0][i]).AsString() + e.atomize(args[1][i]).AsString())
-		case FunNameOf:
-			c[i] = xqt.Str(e.nameOf(args[0][i]))
-		case FunFloor:
-			c[i] = xqt.Double(math.Floor(e.atomize(args[0][i]).AsDouble()))
-		case FunCeil:
-			c[i] = xqt.Double(math.Ceil(e.atomize(args[0][i]).AsDouble()))
-		case FunRound:
-			c[i] = xqt.Double(math.Round(e.atomize(args[0][i]).AsDouble()))
-		case FunStrLen:
-			c[i] = xqt.Int(int64(len(e.atomize(args[0][i]).AsString())))
-		default:
-			return nil, fmt.Errorf("ralg: unhandled function op %d", n.Op)
-		}
+	switch n.Op {
+	case FunAdd, FunSub, FunMul, FunDiv, FunIDiv, FunMod, FunNeg, FunAtomize,
+		FunStringOf, FunNumber, FunConcat, FunNameOf, FunFloor, FunCeil,
+		FunRound, FunStrLen:
+	default:
+		return nil, fmt.Errorf("ralg: unhandled function op %d", n.Op)
 	}
+	c := make([]xqt.Item, in.N)
+	e.parFill(in.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			switch n.Op {
+			case FunAdd, FunSub, FunMul, FunDiv, FunIDiv, FunMod:
+				c[i] = arith(n.Op, e.atomize(args[0][i]), e.atomize(args[1][i]))
+			case FunNeg:
+				a := e.atomize(args[0][i])
+				if a.K == xqt.KInt {
+					c[i] = xqt.Int(-a.I)
+				} else {
+					c[i] = xqt.Double(-a.AsDouble())
+				}
+			case FunAtomize:
+				c[i] = e.atomize(args[0][i])
+			case FunStringOf:
+				c[i] = xqt.Str(e.atomize(args[0][i]).AsString())
+			case FunNumber:
+				c[i] = xqt.Double(e.atomize(args[0][i]).AsDouble())
+			case FunConcat:
+				c[i] = xqt.Str(e.atomize(args[0][i]).AsString() + e.atomize(args[1][i]).AsString())
+			case FunNameOf:
+				c[i] = xqt.Str(e.nameOf(args[0][i]))
+			case FunFloor:
+				c[i] = xqt.Double(math.Floor(e.atomize(args[0][i]).AsDouble()))
+			case FunCeil:
+				c[i] = xqt.Double(math.Ceil(e.atomize(args[0][i]).AsDouble()))
+			case FunRound:
+				c[i] = xqt.Double(math.Round(e.atomize(args[0][i]).AsDouble()))
+			case FunStrLen:
+				c[i] = xqt.Int(int64(len(e.atomize(args[0][i]).AsString())))
+			}
+		}
+	})
 	out.AddCol(n.Out, Col{Kind: KItem, Item: c})
 	return out, nil
 }

@@ -1,0 +1,188 @@
+// Intra-query parallel operator execution. The hot per-iter operators —
+// Step, AttrStep, RowNum, Aggr, Select, Fun and the HashJoin build and
+// probe phases — partition their inputs into contiguous row chunks and
+// run the chunks on a bounded goroutine pool. Chunk boundaries respect
+// iter/part group runs (splitRuns) or identical-item runs, so every
+// group is processed by exactly one worker with the serial algorithm and
+// the concatenated outputs are byte-identical to serial execution —
+// including floating-point aggregates, whose per-group accumulation
+// order is unchanged. Operators whose decomposition would reorder work
+// (Sort, ExistJoin, ElemConstruct, EBV) stay serial.
+//
+// Workers only read shared state (the plan, the input tables, the
+// container pool) and write to disjoint output ranges or worker-local
+// buffers, so the executor is race-free by construction; the test suite
+// runs the full differential corpus under -race to enforce this.
+
+package ralg
+
+import (
+	"runtime"
+
+	"mxq/internal/scj"
+)
+
+// DefaultParThreshold is the minimum input row count (or document span,
+// for range-partitioned steps) at which an operator goes parallel;
+// smaller inputs are not worth the goroutine handoff.
+const DefaultParThreshold = 2048
+
+// ParOptions configures intra-query parallelism of an Exec. The zero
+// value (or Workers <= 1) executes everything serially.
+type ParOptions struct {
+	// Workers bounds the number of concurrently running goroutines.
+	Workers int
+	// Threshold is the minimum input size to parallelize an operator.
+	Threshold int
+}
+
+// DefaultParOptions sizes the worker pool by GOMAXPROCS.
+func DefaultParOptions() ParOptions {
+	return ParOptions{Workers: runtime.GOMAXPROCS(0), Threshold: DefaultParThreshold}
+}
+
+// on reports whether an operator over n rows should run parallel.
+func (p ParOptions) on(n int) bool {
+	return p.Workers > 1 && p.Threshold > 0 && n >= p.Threshold
+}
+
+// parRun executes f(0..chunks-1) on at most p.Workers concurrent
+// goroutines and waits for completion.
+func (p ParOptions) parRun(chunks int, f func(int)) {
+	scj.ParRun(p.Workers, chunks, f)
+}
+
+// splitRows cuts [0, n) into at most chunks contiguous non-empty
+// [lo, hi) ranges of near-equal size.
+func splitRows(n, chunks int) [][2]int {
+	return splitRuns(n, chunks, nil)
+}
+
+// splitRuns cuts [0, n) into at most chunks contiguous ranges like
+// splitRows, but moves each cut forward until cuttable(i) reports that a
+// chunk may start at row i — e.g. "part[i] != part[i-1]" keeps iter
+// groups intact (nil means every row is cuttable). A single run spanning
+// everything yields one chunk.
+func splitRuns(n, chunks int, cuttable func(i int) bool) [][2]int {
+	if chunks > n {
+		chunks = n
+	}
+	var out [][2]int
+	start := 0
+	for k := 0; k < chunks && start < n; k++ {
+		end := n * (k + 1) / chunks
+		if end <= start {
+			continue
+		}
+		for cuttable != nil && end < n && !cuttable(end) {
+			end++
+		}
+		out = append(out, [2]int{start, end})
+		start = end
+	}
+	return out
+}
+
+// int64sNonDecreasing reports whether s is sorted ascending (the usual
+// state of iter/part columns, which makes group-aligned chunking exact).
+func int64sNonDecreasing(s []int64) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// parFill runs fill over row chunks of [0, n); fill must only write
+// rows in its own [lo, hi) range.
+func (e *Exec) parFill(n int, fill func(lo, hi int)) {
+	if !e.Par.on(n) {
+		fill(0, n)
+		return
+	}
+	rs := splitRows(n, e.Par.Workers)
+	e.Par.parRun(len(rs), func(k int) { fill(rs[k][0], rs[k][1]) })
+}
+
+// gather is Table.Gather with column-parallel execution for large index
+// sets (each column gathers independently).
+func (e *Exec) gather(t *Table, idx []int32) *Table {
+	if !e.Par.on(len(idx)) || len(t.cols) <= 1 {
+		return t.Gather(idx)
+	}
+	out := &Table{N: len(idx), names: append([]string(nil), t.names...)}
+	out.cols = make([]Col, len(t.cols))
+	e.Par.parRun(len(t.cols), func(i int) { out.cols[i] = t.cols[i].Gather(idx) })
+	return out
+}
+
+// parPairs produces concatenated (lidx, ridx) join-pair lists: gen emits
+// the pairs for input rows [lo, hi) into fresh slices. Chunk outputs are
+// concatenated in chunk order, preserving the serial emission order.
+func (e *Exec) parPairs(nrows int, gen func(lo, hi int) ([]int32, []int32)) ([]int32, []int32) {
+	if !e.Par.on(nrows) {
+		return gen(0, nrows)
+	}
+	rs := splitRows(nrows, e.Par.Workers)
+	ls := make([][]int32, len(rs))
+	rds := make([][]int32, len(rs))
+	e.Par.parRun(len(rs), func(k int) { ls[k], rds[k] = gen(rs[k][0], rs[k][1]) })
+	total := 0
+	for _, l := range ls {
+		total += len(l)
+	}
+	lidx := make([]int32, 0, total)
+	ridx := make([]int32, 0, total)
+	for k := range ls {
+		lidx = append(lidx, ls[k]...)
+		ridx = append(ridx, rds[k]...)
+	}
+	return lidx, ridx
+}
+
+// hashTable is a key-partitioned join hash table: partition w owns the
+// keys with keyPart(k, w). Serial builds use a single partition.
+type hashTable struct {
+	parts []map[int64][]int32
+}
+
+// keyPart maps a join key to its owning partition (Fibonacci mixing so
+// dense ascending keys spread evenly).
+func keyPart(k int64, nparts int) int {
+	if nparts == 1 {
+		return 0
+	}
+	return int((uint64(k) * 0x9E3779B97F4A7C15 >> 32) % uint64(nparts))
+}
+
+func (h *hashTable) lookup(k int64) []int32 {
+	return h.parts[keyPart(k, len(h.parts))][k]
+}
+
+// buildHashTable builds the right-side key -> row-list table. Large
+// build sides are partitioned by key hash: each worker scans the whole
+// key column but inserts only the keys it owns, so no serial merge is
+// needed and every key's row list is in right-input order exactly as the
+// serial build produces it.
+func (e *Exec) buildHashTable(rkey []int64) *hashTable {
+	if !e.Par.on(len(rkey)) {
+		m := make(map[int64][]int32, len(rkey))
+		for j, k := range rkey {
+			m[k] = append(m[k], int32(j))
+		}
+		return &hashTable{parts: []map[int64][]int32{m}}
+	}
+	nparts := e.Par.Workers
+	h := &hashTable{parts: make([]map[int64][]int32, nparts)}
+	e.Par.parRun(nparts, func(w int) {
+		m := make(map[int64][]int32, len(rkey)/nparts+1)
+		for j, k := range rkey {
+			if keyPart(k, nparts) == w {
+				m[k] = append(m[k], int32(j))
+			}
+		}
+		h.parts[w] = m
+	})
+	return h
+}

@@ -10,6 +10,18 @@
 // exist: dense integers (iter/pos/inner/outer columns), booleans
 // (predicates), and polymorphic XQuery items (the item columns of the
 // iter|pos|item sequence encoding).
+//
+// # Concurrency model
+//
+// Plans and tables are immutable once produced: operators build fresh
+// output tables (possibly sharing read-only column payloads with their
+// inputs), so one compiled plan may be executed by any number of Exec
+// instances concurrently, each with its own memo table, statistics and
+// transient container. Within one execution, Exec.Par additionally
+// partitions the hot operators — Step/AttrStep, RowNum, Aggr, Select,
+// Fun, HashJoin build and probe — across a bounded goroutine pool with
+// chunk boundaries aligned to iter/part group runs, keeping output
+// byte-identical to serial execution (see parallel.go).
 package ralg
 
 import (

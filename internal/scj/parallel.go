@@ -1,0 +1,388 @@
+// Parallel staircase join: the loop-lifted step algorithms of this
+// package partition cleanly because an XPath step is, per iteration, a
+// union over the context nodes of that iteration — pruning and
+// partitioning only avoid emitting the same (node, iter) pair twice.
+// Two decompositions exploit this:
+//
+//   - Context partitioning: the (pre, iter)-sorted context relation is
+//     cut into contiguous chunks at pre boundaries; plain staircase join
+//     runs on each chunk concurrently, and the per-chunk results are
+//     merged back into (pre, iter) order with duplicate elimination
+//     (duplicates arise exactly where serial pruning would have fired
+//     across a chunk boundary). This suits steps with many context
+//     nodes: child, self, parent, ancestor, sibling and the
+//     following/preceding axes.
+//
+//   - Document-range partitioning: descendant steps with few context
+//     nodes but large covered regions (the //x workhorse) are split
+//     along the pre axis instead. Each worker scans one pre range,
+//     seeding its stack with the context nodes whose region covers the
+//     range start, so every document position is visited by exactly one
+//     worker and the concatenated outputs equal the serial result
+//     byte for byte. The candidate-list variant chunks the element-name
+//     posting list the same way.
+//
+// All workers write into worker-local Pairs and Stats; nothing shared is
+// mutated, so ParallelStep is safe under the race detector by
+// construction.
+
+package scj
+
+import (
+	"sort"
+	"sync"
+
+	"mxq/internal/store"
+)
+
+// MergePairs merges two (pre, iter)-sorted pair lists, dropping pairs
+// present in both (the cross-chunk duplicates of context partitioning).
+func MergePairs(a, b Pairs) Pairs { return mergePairs(a, b) }
+
+// ParRun executes f(0..n-1) on at most workers concurrent goroutines
+// and waits for all of them. It is the bounded fork-join helper shared
+// by this package and the ralg operator layer.
+func ParRun(workers, n int, f func(int)) {
+	if n <= 1 {
+		if n == 1 {
+			f(0)
+		}
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+}
+
+// splitPairsByPre cuts ctx into at most chunks contiguous sub-relations,
+// never splitting a run of equal pre values (so per-pre iteration groups
+// stay intact within one chunk). The sub-relations alias ctx's storage.
+func splitPairsByPre(ctx Pairs, chunks int) []Pairs {
+	n := ctx.Len()
+	if chunks > n {
+		chunks = n
+	}
+	var out []Pairs
+	start := 0
+	for k := 0; k < chunks && start < n; k++ {
+		end := (n * (k + 1)) / chunks
+		if end <= start {
+			continue
+		}
+		for end < n && ctx.Pre[end] == ctx.Pre[end-1] {
+			end++
+		}
+		out = append(out, Pairs{Pre: ctx.Pre[start:end], Iter: ctx.Iter[start:end]})
+		start = end
+	}
+	return out
+}
+
+// concatPairs appends chunk outputs in chunk order (used when chunks
+// cover disjoint ascending pre ranges, so no merge is needed).
+func concatPairs(outs []Pairs) Pairs {
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out.Pre = append(out.Pre, o.Pre...)
+		out.Iter = append(out.Iter, o.Iter...)
+	}
+	return out
+}
+
+// mergePairsTree folds a list of sorted pair lists with pairwise merges.
+func mergePairsTree(outs []Pairs) Pairs {
+	if len(outs) == 0 {
+		return Pairs{}
+	}
+	for len(outs) > 1 {
+		next := outs[:0:0]
+		for i := 0; i < len(outs); i += 2 {
+			if i+1 < len(outs) {
+				next = append(next, mergePairs(outs[i], outs[i+1]))
+			} else {
+				next = append(next, outs[i])
+			}
+		}
+		outs = next
+	}
+	return outs[0]
+}
+
+// ParallelStep evaluates one location step like Step, distributing the
+// work over up to workers goroutines when the input is large enough
+// (threshold context rows for context partitioning, threshold document
+// tuples for range partitioning). The result is identical to Step's —
+// same pairs, same (pre, iter) order — so serial execution remains the
+// differential-testing oracle. Small inputs fall back to Step.
+//
+// Stats count the total work performed across all workers: Emitted
+// equals the merged result size exactly, but Touched/Pruned include the
+// per-worker seeding and context-walk replays, so they can exceed the
+// serial counters for the same query. That surplus is the real cost of
+// the decomposition, not an accounting error.
+func ParallelStep(c *store.Container, ctx Pairs, axis Axis, test Test, v Variant, workers, threshold int, st *Stats) Pairs {
+	if st == nil {
+		st = &Stats{}
+	}
+	if workers <= 1 || threshold <= 0 || ctx.Len() == 0 {
+		return Step(c, ctx, axis, test, v, st)
+	}
+	switch axis {
+	case Descendant:
+		if out, ok := parDescendant(c, ctx, test, v, workers, threshold, st); ok {
+			st.Emitted += int64(out.Len())
+			return out
+		}
+	case DescendantOrSelf:
+		if out, ok := parDescendant(c, ctx, test, v, workers, threshold, st); ok {
+			var self Pairs
+			llSelf(c, ctx, CompileTest(c, test), &self, st)
+			merged := mergePairs(out, self)
+			st.Emitted += int64(merged.Len())
+			return merged
+		}
+	}
+	if ctx.Len() >= threshold {
+		return parByContext(c, ctx, axis, test, v, workers, st)
+	}
+	return Step(c, ctx, axis, test, v, st)
+}
+
+// parByContext runs staircase join on context chunks concurrently and
+// merges the chunk results. Valid for every axis because the per-chunk
+// results are each duplicate-free per iteration and the merge removes
+// the duplicates serial pruning would have caught across chunks.
+func parByContext(c *store.Container, ctx Pairs, axis Axis, test Test, v Variant, workers int, st *Stats) Pairs {
+	chunks := splitPairsByPre(ctx, workers)
+	if len(chunks) <= 1 {
+		return Step(c, ctx, axis, test, v, st)
+	}
+	outs := make([]Pairs, len(chunks))
+	stats := make([]Stats, len(chunks))
+	ParRun(workers, len(chunks), func(k int) {
+		outs[k] = Step(c, chunks[k], axis, test, v, &stats[k])
+	})
+	for k := range stats {
+		st.Touched += stats[k].Touched
+		st.Pruned += stats[k].Pruned
+	}
+	out := mergePairsTree(outs)
+	st.Emitted += int64(out.Len())
+	return out
+}
+
+// parDescendant evaluates the descendant part of a step with document-
+// range partitioning, reporting ok=false when the covered region is too
+// small to bother or the variant is the per-iteration ablation baseline.
+func parDescendant(c *store.Container, ctx Pairs, test Test, v Variant, workers, threshold int, st *Stats) (Pairs, bool) {
+	if v == Iterative {
+		return Pairs{}, false
+	}
+	lo := ctx.Pre[0]
+	hi := lo
+	for i := 0; i < ctx.Len(); i++ {
+		if e := ctx.Pre[i] + c.Size[ctx.Pre[i]]; e > hi {
+			hi = e
+		}
+	}
+	if int(hi-lo) < threshold {
+		return Pairs{}, false
+	}
+	if v == CandidateList {
+		if cand, ok := candidates(c, test); ok {
+			return parCandDescendant(c, ctx, cand, workers, st), true
+		}
+	}
+	return parScanDescendant(c, ctx, CompileTest(c, test), lo, hi, workers, st), true
+}
+
+// parCandDescendant chunks the ascending candidate list; each worker
+// replays the context walk of candDescendant over its candidate slice.
+// The walk is O(|ctx| + |chunk|) per worker and the frame stack at any
+// candidate position depends only on ctx, so chunk outputs concatenate
+// to exactly the serial candDescendant result.
+func parCandDescendant(c *store.Container, ctx Pairs, cand []int32, workers int, st *Stats) Pairs {
+	chunks := workers
+	if chunks > len(cand) {
+		chunks = len(cand)
+	}
+	if chunks <= 1 {
+		var out Pairs
+		candDescendant(c, ctx, cand, &out, st)
+		return out
+	}
+	outs := make([]Pairs, chunks)
+	stats := make([]Stats, chunks)
+	ParRun(workers, chunks, func(k int) {
+		lo := len(cand) * k / chunks
+		hi := len(cand) * (k + 1) / chunks
+		candDescendant(c, ctx, cand[lo:hi], &outs[k], &stats[k])
+	})
+	for k := range stats {
+		st.Touched += stats[k].Touched
+		st.Pruned += stats[k].Pruned
+	}
+	return concatPairs(outs)
+}
+
+// parScanDescendant splits the covered pre space [lo, hi] into ranges
+// scanned concurrently. Each worker seeds its region stack with the
+// context nodes covering its range start, then runs the llDescendant
+// sweep restricted to its range, so every document position is emitted
+// by exactly one worker and the concatenation is in (pre, iter) order.
+func parScanDescendant(c *store.Container, ctx Pairs, match func(int32) bool, lo, hi int32, workers int, st *Stats) Pairs {
+	span := int(hi + 1 - lo)
+	chunks := workers
+	if chunks > span {
+		chunks = span
+	}
+	outs := make([]Pairs, chunks)
+	stats := make([]Stats, chunks)
+	ParRun(workers, chunks, func(k int) {
+		rlo := lo + int32(span*k/chunks)
+		rhi := lo + int32(span*(k+1)/chunks)
+		scanDescendantRange(c, ctx, match, rlo, rhi, &outs[k], &stats[k])
+	})
+	for k := range stats {
+		st.Touched += stats[k].Touched
+		st.Pruned += stats[k].Pruned
+	}
+	return concatPairs(outs)
+}
+
+// scanDescendantRange is llDescendant restricted to pre positions
+// [rlo, rhi): the stack is pre-seeded with the contexts whose region
+// covers rlo (they nest, so ascending pre order is stack order), context
+// nodes inside the range push as in the full sweep, and the scan stops
+// at the range end.
+func scanDescendantRange(c *store.Container, ctx Pairs, match func(int32) bool, rlo, rhi int32, out *Pairs, st *Stats) {
+	type frame struct {
+		eos   int32
+		iters []int32
+	}
+	var frames []frame
+	activeSet := make(map[int32]bool)
+	var active []int32
+	rebuild := func() {
+		active = active[:0]
+		for _, f := range frames {
+			active = append(active, f.iters...)
+		}
+		sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+	}
+	n := int32(ctx.Len())
+	// seed: contexts starting before the range whose region reaches into it
+	seedEnd := int32(sort.Search(int(n), func(i int) bool { return ctx.Pre[i] >= rlo }))
+	i := int32(0)
+	for i < seedEnd {
+		curPre := ctx.Pre[i]
+		eos := curPre + c.Size[curPre]
+		if eos < rlo {
+			i++
+			continue
+		}
+		var iters []int32
+		for i < seedEnd && ctx.Pre[i] == curPre {
+			it := ctx.Iter[i]
+			if activeSet[it] {
+				st.Pruned++
+			} else {
+				iters = append(iters, it)
+				activeSet[it] = true
+			}
+			i++
+		}
+		if len(iters) > 0 {
+			frames = append(frames, frame{eos: eos, iters: iters})
+		}
+	}
+	rebuild()
+
+	nxt := seedEnd
+	pushAt := func(nxt int32) int32 {
+		curPre := ctx.Pre[nxt]
+		var iters []int32
+		for nxt < n && ctx.Pre[nxt] == curPre {
+			it := ctx.Iter[nxt]
+			if activeSet[it] {
+				st.Pruned++
+			} else {
+				iters = append(iters, it)
+				activeSet[it] = true
+			}
+			nxt++
+		}
+		if len(iters) > 0 {
+			frames = append(frames, frame{eos: curPre + c.Size[curPre], iters: iters})
+			rebuild()
+		}
+		return nxt
+	}
+
+	p := rlo
+	for p < rhi {
+		popped := false
+		for len(frames) > 0 && frames[len(frames)-1].eos < p {
+			for _, it := range frames[len(frames)-1].iters {
+				delete(activeSet, it)
+			}
+			frames = frames[:len(frames)-1]
+			popped = true
+		}
+		if popped {
+			rebuild()
+		}
+		if len(frames) == 0 {
+			// skipping: jump to the next context inside the range
+			if nxt >= n || ctx.Pre[nxt] >= rhi {
+				break
+			}
+			p = ctx.Pre[nxt]
+		}
+		if nxt < n && ctx.Pre[nxt] == p {
+			if len(active) > 0 {
+				st.Touched++
+				if match(p) {
+					for _, it := range active {
+						out.append(p, it)
+					}
+				}
+			}
+			nxt = pushAt(nxt)
+			p++
+			continue
+		}
+		stop := frames[len(frames)-1].eos
+		if nxt < n && ctx.Pre[nxt]-1 < stop {
+			stop = ctx.Pre[nxt] - 1
+		}
+		if rhi-1 < stop {
+			stop = rhi - 1
+		}
+		for q := p; q <= stop; q++ {
+			st.Touched++
+			if c.Level[q] == store.NullLevel {
+				q += c.Size[q] // skip unused run
+				continue
+			}
+			if match(q) {
+				for _, it := range active {
+					out.append(q, it)
+				}
+			}
+		}
+		p = stop + 1
+	}
+}

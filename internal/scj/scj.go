@@ -19,6 +19,12 @@
 // The package also provides the per-iteration ("iterative") variants used
 // as the ablation baseline of Figure 12, and candidate-list variants that
 // implement nametest pushdown through the element-name index (§3.2).
+//
+// ParallelStep distributes a step over a bounded goroutine pool — by
+// context chunks or by document ranges — producing output identical to
+// Step's (see parallel.go for the decomposition argument). All Step
+// variants are read-only with respect to the container, so any number of
+// steps may run concurrently against the same document.
 package scj
 
 import (
@@ -330,99 +336,15 @@ func llChild(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, 
 
 // llDescendant scans the document once; a stack of active context regions
 // tracks which iterations each visited node belongs to. Context nodes
-// whose iteration is already active are pruned.
+// whose iteration is already active are pruned. The sweep itself lives
+// in scanDescendantRange (parallel.go); the serial algorithm is its
+// full-document special case, so serial and range-parallel execution
+// share one implementation by construction.
 func llDescendant(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
-	type frame struct {
-		eos   int32
-		iters []int32
+	if ctx.Len() == 0 {
+		return
 	}
-	var frames []frame
-	activeSet := make(map[int32]bool)
-	var active []int32 // sorted merge of all frame iters
-	rebuild := func() {
-		active = active[:0]
-		for _, f := range frames {
-			active = append(active, f.iters...)
-		}
-		sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
-	}
-
-	pushAt := func(nxt int32, n int32) int32 {
-		curPre := ctx.Pre[nxt]
-		var iters []int32
-		for nxt < n && ctx.Pre[nxt] == curPre {
-			it := ctx.Iter[nxt]
-			if activeSet[it] {
-				st.Pruned++ // pruning within the same iteration
-			} else {
-				iters = append(iters, it)
-				activeSet[it] = true
-			}
-			nxt++
-		}
-		if len(iters) > 0 {
-			frames = append(frames, frame{eos: curPre + c.Size[curPre], iters: iters})
-			rebuild()
-		}
-		return nxt
-	}
-
-	n := int32(ctx.Len())
-	nxt := int32(0)
-	var p int32
-	for nxt < n || len(frames) > 0 {
-		// pop frames that end before p
-		popped := false
-		for len(frames) > 0 && frames[len(frames)-1].eos < p {
-			for _, it := range frames[len(frames)-1].iters {
-				delete(activeSet, it)
-			}
-			frames = frames[:len(frames)-1]
-			popped = true
-		}
-		if popped {
-			rebuild()
-		}
-		if len(frames) == 0 {
-			if nxt >= n {
-				break
-			}
-			p = ctx.Pre[nxt] // skipping: jump to the next context
-		}
-		if nxt < n && ctx.Pre[nxt] == p {
-			// a context node is itself a descendant of the enclosing
-			// active contexts
-			if len(active) > 0 {
-				st.Touched++
-				if match(p) {
-					for _, it := range active {
-						out.append(p, it)
-					}
-				}
-			}
-			nxt = pushAt(nxt, n)
-			p++
-			continue
-		}
-		// scan until the next event: context boundary or top-of-stack eos
-		stop := frames[len(frames)-1].eos
-		if nxt < n && ctx.Pre[nxt]-1 < stop {
-			stop = ctx.Pre[nxt] - 1
-		}
-		for q := p; q <= stop; q++ {
-			st.Touched++
-			if c.Level[q] == store.NullLevel {
-				q += c.Size[q] // skip unused run
-				continue
-			}
-			if match(q) {
-				for _, it := range active {
-					out.append(q, it)
-				}
-			}
-		}
-		p = stop + 1
-	}
+	scanDescendantRange(c, ctx, match, ctx.Pre[0], int32(c.Len()), out, st)
 }
 
 func llSelf(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {

@@ -341,6 +341,12 @@ func (d *Names) Len() int { return len(d.names) }
 
 // Pool is the registry of containers live in one engine instance: the
 // paper's "loaded documents" table. Container ids index the pool.
+//
+// A Pool is not synchronized; concurrent engines serialize Register and
+// Snapshot calls themselves (core.Engine holds an RWMutex) and treat
+// registered containers as immutable. Snapshot gives each query its own
+// registry so a per-query transient container can be added without
+// affecting other queries running against the same documents.
 type Pool struct {
 	containers []*Container
 	byName     map[string]*Container
@@ -365,13 +371,19 @@ func (p *Pool) Register(c *Container) *Container {
 // Get returns the container with the given id.
 func (p *Pool) Get(id int32) *Container { return p.containers[id] }
 
-// Replace swaps the container registered under id (used to recycle the
-// per-query transient container without growing the pool).
-func (p *Pool) Replace(id int32, c *Container) *Container {
-	c.ID = id
-	c.pool = p
-	p.containers[id] = c
-	return c
+// Snapshot returns a shallow copy of the pool: it shares the registered
+// containers (immutable once registered) but owns its registry, so
+// containers registered later — per-query transients, concurrently
+// loaded documents — never show up in, or renumber, existing snapshots.
+func (p *Pool) Snapshot() *Pool {
+	q := &Pool{
+		containers: append([]*Container(nil), p.containers...),
+		byName:     make(map[string]*Container, len(p.byName)),
+	}
+	for k, v := range p.byName {
+		q.byName[k] = v
+	}
+	return q
 }
 
 // ByName returns the document container registered under name.

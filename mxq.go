@@ -28,8 +28,11 @@ import (
 	"mxq/internal/xqt"
 )
 
-// DB is an XQuery engine instance holding its loaded documents. It is not
-// safe for concurrent use; open one DB per goroutine.
+// DB is an XQuery engine instance holding its loaded documents. It is
+// safe for concurrent use: any number of goroutines may call Query (and
+// load further documents) on one DB; each query runs against a snapshot
+// of the loaded documents with its own transient state. WithParallel
+// additionally parallelizes the execution of each single query.
 type DB struct {
 	eng *core.Engine
 	cfg core.Config
@@ -72,6 +75,32 @@ func WithNametestPushdown(on bool) Option {
 	return func(c *core.Config) { c.Compiler.NametestPushdown = on }
 }
 
+// WithParallel toggles intra-query parallel execution (off by default):
+// staircase-join steps, row numbering, aggregation, selection, row-wise
+// functions and hash joins partition their inputs across a goroutine
+// pool sized by GOMAXPROCS. Results are byte-identical to serial
+// execution.
+func WithParallel(on bool) Option {
+	return func(c *core.Config) { c.Parallel = on }
+}
+
+// WithWorkers bounds the parallel worker pool (implies WithParallel when
+// n > 1); 0 restores the GOMAXPROCS default.
+func WithWorkers(n int) Option {
+	return func(c *core.Config) {
+		c.Workers = n
+		if n > 1 {
+			c.Parallel = true
+		}
+	}
+}
+
+// WithPlanCacheSize bounds the LRU cache of compiled plans (0 keeps the
+// default size).
+func WithPlanCacheSize(n int) Option {
+	return func(c *core.Config) { c.PlanCacheSize = n }
+}
+
 // Open returns a new engine instance with all paper optimizations
 // enabled, modified by the given options.
 func Open(opts ...Option) *DB {
@@ -105,7 +134,8 @@ func (db *DB) LoadXMark(name string, factor float64, seed int64) {
 type Result struct{ r *core.Result }
 
 // Query parses, compiles, optimizes and evaluates an XQuery expression.
-// Node items in the result stay valid until the next Query call.
+// Node items in the result stay valid for the lifetime of the Result:
+// each query pins its own snapshot of the loaded documents.
 func (db *DB) Query(q string) (*Result, error) {
 	r, err := db.eng.Query(q)
 	if err != nil {
