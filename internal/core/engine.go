@@ -224,9 +224,9 @@ func (e *Engine) Query(q string) (*Result, error) {
 	e.statsMu.Lock()
 	e.lastStats = ex.Stats
 	e.statsMu.Unlock()
-	items := make([]xqt.Item, tab.N)
-	copy(items, tab.Items("item"))
-	return &Result{Items: items, pool: qp}, nil
+	// Items materializes a fresh polymorphic slice off the typed-vector
+	// column, so the result does not pin the executor's tables.
+	return &Result{Items: tab.Items("item"), pool: qp}, nil
 }
 
 // LastStats returns the executor counters of the most recent Query.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"unicode/utf8"
 
 	"mxq/internal/store"
 	"mxq/internal/xqp"
@@ -147,8 +148,9 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 		}
 		return []Val{atomVal(xqt.Str(sb.String()))}, nil
 	case "string-length":
+		// characters, not bytes: string-length("héllo") is 5
 		it, _ := single(args, 0)
-		return []Val{atomVal(xqt.Int(int64(len(it.AsString()))))}, nil
+		return []Val{atomVal(xqt.Int(int64(utf8.RuneCountInString(it.AsString()))))}, nil
 	case "floor", "ceiling", "round":
 		it, ok := single(args, 0)
 		if !ok {
@@ -161,7 +163,7 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 		case "ceiling":
 			f = math.Ceil(f)
 		default:
-			f = math.Round(f)
+			f = xqt.Round(f)
 		}
 		return []Val{atomVal(xqt.Double(f))}, nil
 	case "distinct-values":
@@ -196,13 +198,19 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 			return []Val{atomVal(xqt.Str(""))}, nil
 		}
 		v := args[0][0]
+		var qn string
 		switch {
 		case v.Owner != nil:
-			return []Val{atomVal(xqt.Str(v.Owner.Attrs[v.AIdx].Name))}, nil
+			qn = v.Owner.Attrs[v.AIdx].Name
 		case v.Node != nil:
-			return []Val{atomVal(xqt.Str(v.Node.Name))}, nil
+			qn = v.Node.Name
+		default:
+			return nil, fmt.Errorf("xquery error XPTY0004: name() of a non-node")
 		}
-		return nil, fmt.Errorf("xquery error XPTY0004: name() of a non-node")
+		if name == "local-name" {
+			qn = xqt.LocalName(qn)
+		}
+		return []Val{atomVal(xqt.Str(qn))}, nil
 	case "doc":
 		it, ok := single(args, 0)
 		if !ok {
@@ -228,10 +236,15 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 }
 
 // valueKey normalizes an atom for distinct-values: numeric values compare
-// numerically, everything else as strings (mirrors ralg's rowKey policy).
+// numerically (so 1 and 1.0 are one value), booleans only against
+// booleans, everything else as strings (mirrors ralg's rowKey policy;
+// values of incomparable types are distinct per the XQuery spec).
 func valueKey(a xqt.Item) string {
-	if a.IsNumeric() {
+	switch {
+	case a.IsNumeric():
 		return fmt.Sprintf("n%v", a.AsDouble())
+	case a.K == xqt.KBool:
+		return "b" + a.AsString()
 	}
 	return "s" + a.AsString()
 }

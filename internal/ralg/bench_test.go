@@ -28,7 +28,7 @@ func stepBenchSetup() {
 		tab := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
 		tab.N = 1
 		tab.Col("iter").Int = []int64{1}
-		tab.Col("item").Item = []xqt.Item{xqt.Node(cont.ID, 0)}
+		tab.Col("item").Item = ItemsOf(xqt.Node(cont.ID, 0))
 		stepBenchTab = tab
 	})
 }
@@ -98,3 +98,81 @@ func BenchmarkHashJoinParallel(b *testing.B) {
 	}
 	benchmarkHashJoin(b, ParOptions{Workers: w, Threshold: DefaultParThreshold})
 }
+
+// --- typed-vector vs polymorphic dispatch pairs ------------------------
+//
+// The *Typed benchmarks run the uniform-tag fast path (one kind dispatch
+// per column, monomorphic loops over raw payload vectors); the
+// *Polymorphic pairs run the identical values through a demoted column
+// whose materialized tag vector forces the per-row item path — the cost
+// the typed representation eliminates.
+
+const funBenchRows = 1 << 18
+
+func funBenchTable(demoted bool) *Table {
+	a := make([]xqt.Item, funBenchRows)
+	c := make([]xqt.Item, funBenchRows)
+	for i := range a {
+		a[i] = xqt.Int(int64(i % 1000))
+		c[i] = xqt.Double(float64(i%997) / 4)
+	}
+	av, cv := NewItemVec(a), NewItemVec(c)
+	if demoted {
+		av, cv = demote(av), demote(cv)
+	}
+	tab := &Table{N: funBenchRows}
+	tab.AddCol("a", Col{Kind: KItem, Item: av})
+	tab.AddCol("b", Col{Kind: KItem, Item: cv})
+	return tab
+}
+
+func benchmarkFun(b *testing.B, op FunOp, demoted bool) {
+	tab := funBenchTable(demoted)
+	n := &Fun{Op: op, Args: []string{"a", "b"}, Out: "o"}
+	ex := NewExec(store.NewPool(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.execFun(n, tab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFunAddTyped(b *testing.B)       { benchmarkFun(b, FunAdd, false) }
+func BenchmarkFunAddPolymorphic(b *testing.B) { benchmarkFun(b, FunAdd, true) }
+func BenchmarkFunCmpTyped(b *testing.B)       { benchmarkFun(b, FunLt, false) }
+func BenchmarkFunCmpPolymorphic(b *testing.B) { benchmarkFun(b, FunLt, true) }
+
+func aggrBenchTable(demoted bool) *Table {
+	vals := make([]xqt.Item, funBenchRows)
+	parts := make([]int64, funBenchRows)
+	for i := range vals {
+		vals[i] = xqt.Double(float64(i%911) / 8)
+		parts[i] = int64(i / 64) // 64-row groups, clustered
+	}
+	v := NewItemVec(vals)
+	if demoted {
+		v = demote(v)
+	}
+	tab := &Table{N: funBenchRows}
+	tab.AddCol("part", Col{Kind: KInt, Int: parts})
+	tab.AddCol("item", Col{Kind: KItem, Item: v})
+	return tab
+}
+
+func benchmarkAggr(b *testing.B, op AggOp, demoted bool) {
+	tab := aggrBenchTable(demoted)
+	n := &Aggr{Part: "part", Op: op, Arg: "item", Out: "o"}
+	ex := NewExec(store.NewPool(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.execAggr(n, tab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggrSumTyped(b *testing.B)       { benchmarkAggr(b, AggSum, false) }
+func BenchmarkAggrSumPolymorphic(b *testing.B) { benchmarkAggr(b, AggSum, true) }
+func BenchmarkAggrMaxTyped(b *testing.B)       { benchmarkAggr(b, AggMax, false) }
+func BenchmarkAggrMaxPolymorphic(b *testing.B) { benchmarkAggr(b, AggMax, true) }

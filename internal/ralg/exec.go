@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"mxq/internal/scj"
 	"mxq/internal/store"
@@ -131,42 +133,50 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 
 func execColToItem(n *ColToItem, in *Table) *Table {
 	src := in.Col(n.Src)
-	items := make([]xqt.Item, in.N)
+	var v ItemVec
 	switch src.Kind {
 	case KInt:
-		for i, v := range src.Int {
-			items[i] = xqt.Int(v)
-		}
+		// zero-copy: an integer column is already a uniform xs:integer
+		// payload vector (columns are immutable once produced)
+		v = ItemVec{Tag: xqt.KInt, n: len(src.Int), I: src.Int}
 	case KBool:
-		for i, v := range src.Bool {
-			items[i] = xqt.Bool(v)
+		v = ItemVec{Tag: xqt.KBool, n: len(src.Bool), I: make([]int64, len(src.Bool))}
+		for i, b := range src.Bool {
+			if b {
+				v.I[i] = 1
+			}
 		}
 	default:
-		copy(items, src.Item)
+		v = src.Item
 	}
 	out := &Table{N: in.N, names: append([]string(nil), in.names...), cols: append([]Col(nil), in.cols...)}
 	out.names = append(out.names, n.Dst)
-	out.cols = append(out.cols, Col{Kind: KItem, Item: items})
+	out.cols = append(out.cols, Col{Kind: KItem, Item: v})
 	return out
 }
 
 func execRangeGen(n *RangeGen, in *Table) (*Table, error) {
 	iters := in.Ints(n.Iter)
-	lo := in.Items(n.Lo)
-	hi := in.Items(n.Hi)
+	lo := in.ItemVec(n.Lo)
+	hi := in.ItemVec(n.Hi)
 	out := NewTable([]string{"iter", "pos", "item"}, []ColKind{KInt, KInt, KItem})
 	ic, pc, tc := out.Col("iter"), out.Col("pos"), out.Col("item")
 	for i := range iters {
-		a := int64(lo[i].AsDouble())
-		b := int64(hi[i].AsDouble())
+		a := int64(lo.At(i).AsDouble())
+		b := int64(hi.At(i).AsDouble())
 		if b-a > MaxRows {
 			return nil, fmt.Errorf("ralg: range %d to %d too large", a, b)
 		}
+		if b < a {
+			continue
+		}
+		base := tc.Item.growRows(xqt.KInt, int(b-a)+1)
 		pos := int64(1)
 		for v := a; v <= b; v++ {
 			ic.Int = append(ic.Int, iters[i])
 			pc.Int = append(pc.Int, pos)
-			tc.Item = append(tc.Item, xqt.Int(v))
+			tc.Item.I[base] = v
+			base++
 			pos++
 		}
 	}
@@ -195,7 +205,7 @@ func (e *Exec) execDocRoot(n *DocRoot) (*Table, error) {
 	t := NewTable([]string{"pos", "item"}, []ColKind{KInt, KItem})
 	t.N = 1
 	t.Col("pos").Int = []int64{1}
-	t.Col("item").Item = []xqt.Item{xqt.Node(c.ID, 0)}
+	t.Col("item").Item = ItemsOf(xqt.Node(c.ID, 0))
 	return t, nil
 }
 
@@ -226,10 +236,7 @@ func execAttach(n *Attach, in *Table) *Table {
 			c.Bool[i] = n.B
 		}
 	default:
-		c.Item = make([]xqt.Item, in.N)
-		for i := range c.Item {
-			c.Item[i] = n.It
-		}
+		c.Item = constItemVec(n.It, in.N)
 	}
 	out.names = append(out.names, n.Col)
 	out.cols = append(out.cols, c)
@@ -478,7 +485,7 @@ func execUnion(in []*Table) *Table {
 			case KBool:
 				c.Bool = append(c.Bool, src.Bool...)
 			default:
-				c.Item = append(c.Item, src.Item...)
+				c.Item.AppendVec(&src.Item)
 			}
 		}
 		out.names = append(out.names, name)
@@ -517,10 +524,18 @@ func execDistinct(n *Distinct, in *Table) *Table {
 			}
 		}
 	} else {
+		encs := make([]keyEnc, len(cols))
+		for i, c := range cols {
+			encs[i] = colKeyEnc(c)
+		}
 		seen := make(map[string]bool, in.N)
 		var key []byte
 		for i := 0; i < in.N; i++ {
-			key = rowKey(key[:0], cols, int32(i))
+			key = key[:0]
+			for _, enc := range encs {
+				key = enc(key, int32(i))
+				key = append(key, 0xff)
+			}
 			if !seen[string(key)] {
 				seen[string(key)] = true
 				idx = append(idx, int32(i))
@@ -530,39 +545,56 @@ func execDistinct(n *Distinct, in *Table) *Table {
 	return in.Gather(idx)
 }
 
-// rowKey encodes the given columns of row i into a hashable byte key.
-func rowKey(buf []byte, cols []*Col, i int32) []byte {
-	for _, c := range cols {
-		switch c.Kind {
-		case KInt:
-			buf = appendInt(buf, c.Int[i])
-		case KBool:
-			if c.Bool[i] {
-				buf = append(buf, 1)
-			} else {
-				buf = append(buf, 0)
-			}
-		default:
-			it := c.Item[i]
-			switch it.K {
-			case xqt.KNode, xqt.KAttr:
-				buf = append(buf, byte(it.K))
-				buf = appendInt(buf, int64(it.Cont))
-				buf = appendInt(buf, it.I)
-			case xqt.KInt, xqt.KBool:
-				buf = append(buf, 'n')
-				buf = appendInt(buf, int64(math.Float64bits(float64(it.I))))
-			case xqt.KDouble:
-				buf = append(buf, 'n')
-				buf = appendInt(buf, int64(math.Float64bits(it.F)))
-			default:
-				buf = append(buf, 's')
-				buf = append(buf, it.S...)
-			}
-		}
-		buf = append(buf, 0xff)
+// keyEnc appends the hashable encoding of one column's row i to buf.
+type keyEnc func(buf []byte, i int32) []byte
+
+// itemKey appends the per-kind value encoding used for duplicate
+// elimination: numeric values (integers and doubles) encode as their
+// xs:double bit pattern so 1 and 1.0 collapse into one value; booleans,
+// strings and node identities each keep their own tag, so values the eq
+// operator cannot compare (1 versus true()) stay distinct, per the
+// fn:distinct-values rules.
+func itemKey(buf []byte, v *ItemVec, k xqt.Kind, i int32) []byte {
+	switch k {
+	case xqt.KNode, xqt.KAttr:
+		buf = append(buf, byte(k))
+		buf = appendInt(buf, int64(v.Cont[i]))
+		return appendInt(buf, v.I[i])
+	case xqt.KInt:
+		buf = append(buf, 'n')
+		return appendInt(buf, int64(math.Float64bits(float64(v.I[i]))))
+	case xqt.KBool:
+		buf = append(buf, 'b')
+		return append(buf, byte(v.I[i]&1))
+	case xqt.KDouble:
+		buf = append(buf, 'n')
+		return appendInt(buf, int64(math.Float64bits(v.F[i])))
+	default:
+		buf = append(buf, 's')
+		return append(buf, v.S[i]...)
 	}
-	return buf
+}
+
+// colKeyEnc builds the key encoder of one column, dispatching on the
+// column kind — and, for uniform item columns, on the item kind — once
+// instead of per row.
+func colKeyEnc(c *Col) keyEnc {
+	switch c.Kind {
+	case KInt:
+		return func(buf []byte, i int32) []byte { return appendInt(buf, c.Int[i]) }
+	case KBool:
+		return func(buf []byte, i int32) []byte {
+			if c.Bool[i] {
+				return append(buf, 1)
+			}
+			return append(buf, 0)
+		}
+	}
+	v := &c.Item
+	if k, ok := v.Uniform(); ok {
+		return func(buf []byte, i int32) []byte { return itemKey(buf, v, k, i) }
+	}
+	return func(buf []byte, i int32) []byte { return itemKey(buf, v, v.Tags[i], i) }
 }
 
 func appendInt(buf []byte, v int64) []byte {
@@ -574,9 +606,9 @@ func appendInt(buf []byte, v int64) []byte {
 
 func (e *Exec) execAggr(n *Aggr, in *Table) (*Table, error) {
 	part := in.Ints(n.Part)
-	var arg []xqt.Item
+	var arg *ItemVec
 	if n.Op != AggCount {
-		arg = in.Items(n.Arg)
+		arg = in.ItemVec(n.Arg)
 	}
 	if e.Par.on(in.N) && int64sNonDecreasing(part) {
 		// clustered groups: chunk at group boundaries so every group is
@@ -591,7 +623,9 @@ func (e *Exec) execAggr(n *Aggr, in *Table) (*Table, error) {
 		out := NewTable([]string{n.Part, n.Out}, []ColKind{KInt, KItem})
 		for k := range pcs {
 			out.Col(n.Part).Int = append(out.Col(n.Part).Int, pcs[k]...)
-			out.Col(n.Out).Item = append(out.Col(n.Out).Item, vcs[k]...)
+			for _, it := range vcs[k] {
+				out.Col(n.Out).Item.Append(it)
+			}
 		}
 		out.N = out.Col(n.Part).Len()
 		return out, nil
@@ -600,46 +634,102 @@ func (e *Exec) execAggr(n *Aggr, in *Table) (*Table, error) {
 	out := NewTable([]string{n.Part, n.Out}, []ColKind{KInt, KItem})
 	out.N = len(pc)
 	out.Col(n.Part).Int = pc
-	out.Col(n.Out).Item = vc
+	out.Col(n.Out).Item = NewItemVec(vc)
 	return out, nil
 }
 
+// aggGroup accumulates one group's aggregate state.
+type aggGroup struct {
+	cnt    int64
+	sumF   float64
+	sumI   int64
+	allInt bool
+	minmax xqt.Item
+}
+
 // aggrRange aggregates rows [lo, hi) by part, returning one (part, value)
-// row per group in first-appearance order.
-func aggrRange(n *Aggr, part []int64, arg []xqt.Item, lo, hi int) ([]int64, []xqt.Item) {
-	type group struct {
-		cnt    int64
-		sumF   float64
-		sumI   int64
-		allInt bool
-		minmax xqt.Item
-	}
+// row per group in first-appearance order. When the argument column has a
+// uniform numeric tag, the accumulation loops run over the raw
+// int64/float64 payload vectors — one kind dispatch per chunk instead of
+// one per row (the accumulation order, and therefore every
+// floating-point result bit, is unchanged).
+func aggrRange(n *Aggr, part []int64, arg *ItemVec, lo, hi int) ([]int64, []xqt.Item) {
 	order := make([]int64, 0, 64)
-	groups := make(map[int64]*group, 64)
-	for i := lo; i < hi; i++ {
-		g := groups[part[i]]
+	groups := make(map[int64]*aggGroup, 64)
+	lookup := func(p int64) *aggGroup {
+		g := groups[p]
 		if g == nil {
-			g = &group{allInt: true}
-			groups[part[i]] = g
-			order = append(order, part[i])
+			g = &aggGroup{allInt: true}
+			groups[p] = g
+			order = append(order, p)
 		}
 		g.cnt++
-		switch n.Op {
-		case AggSum, AggAvg:
-			it := arg[i]
-			if it.K == xqt.KInt {
-				g.sumI += it.I
-			} else {
-				g.allInt = false
+		return g
+	}
+	tag := xqt.KUntyped
+	uniform := false
+	if arg != nil {
+		tag, uniform = arg.Uniform()
+	}
+	switch {
+	case n.Op == AggCount:
+		for i := lo; i < hi; i++ {
+			lookup(part[i])
+		}
+	case uniform && tag == xqt.KInt && (n.Op == AggSum || n.Op == AggAvg):
+		for i := lo; i < hi; i++ {
+			g := lookup(part[i])
+			g.sumI += arg.I[i]
+			g.sumF += float64(arg.I[i])
+		}
+	case uniform && tag == xqt.KDouble && (n.Op == AggSum || n.Op == AggAvg):
+		for i := lo; i < hi; i++ {
+			g := lookup(part[i])
+			g.allInt = false
+			g.sumF += arg.F[i]
+		}
+	case uniform && tag == xqt.KInt && (n.Op == AggMin || n.Op == AggMax):
+		// ties keep the earlier row, and the comparison is the xs:double
+		// order xqt.SortLess applies to numeric items
+		max := n.Op == AggMax
+		for i := lo; i < hi; i++ {
+			g := lookup(part[i])
+			v := arg.I[i]
+			if g.cnt == 1 ||
+				(max && float64(g.minmax.I) < float64(v)) ||
+				(!max && float64(v) < float64(g.minmax.I)) {
+				g.minmax = xqt.Int(v)
 			}
-			g.sumF += it.AsDouble()
-		case AggMin:
-			if g.cnt == 1 || xqt.SortLess(arg[i], g.minmax) {
-				g.minmax = arg[i]
+		}
+	case uniform && tag == xqt.KDouble && (n.Op == AggMin || n.Op == AggMax):
+		max := n.Op == AggMax
+		for i := lo; i < hi; i++ {
+			g := lookup(part[i])
+			v := arg.F[i]
+			if g.cnt == 1 || (max && g.minmax.F < v) || (!max && v < g.minmax.F) {
+				g.minmax = xqt.Double(v)
 			}
-		case AggMax:
-			if g.cnt == 1 || xqt.SortLess(g.minmax, arg[i]) {
-				g.minmax = arg[i]
+		}
+	default:
+		for i := lo; i < hi; i++ {
+			g := lookup(part[i])
+			switch n.Op {
+			case AggSum, AggAvg:
+				it := arg.At(i)
+				if it.K == xqt.KInt {
+					g.sumI += it.I
+				} else {
+					g.allInt = false
+				}
+				g.sumF += it.AsDouble()
+			case AggMin:
+				if g.cnt == 1 || xqt.SortLess(arg.At(i), g.minmax) {
+					g.minmax = arg.At(i)
+				}
+			case AggMax:
+				if g.cnt == 1 || xqt.SortLess(g.minmax, arg.At(i)) {
+					g.minmax = arg.At(i)
+				}
 			}
 		}
 	}
@@ -667,9 +757,28 @@ func aggrRange(n *Aggr, part []int64, arg []xqt.Item, lo, hi int) ([]int64, []xq
 }
 
 // stepInputSorted verifies the (item, iter) sort contract of Step inputs.
-func stepInputSorted(items []xqt.Item, iters []int64) bool {
-	for i := 1; i < len(items); i++ {
-		a, b := items[i-1], items[i]
+func stepInputSorted(items *ItemVec, iters []int64) bool {
+	if k, ok := items.Uniform(); ok && (k == xqt.KNode || k == xqt.KAttr) {
+		// uniform node column: document order is (container, pre) order
+		// directly on the payload vectors
+		for i := 1; i < items.Len(); i++ {
+			switch {
+			case items.Cont[i-1] != items.Cont[i]:
+				if items.Cont[i-1] > items.Cont[i] {
+					return false
+				}
+			case items.I[i-1] != items.I[i]:
+				if items.I[i-1] > items.I[i] {
+					return false
+				}
+			case iters[i-1] > iters[i]:
+				return false
+			}
+		}
+		return true
+	}
+	for i := 1; i < items.Len(); i++ {
+		a, b := items.At(i-1), items.At(i)
 		if xqt.SortLess(a, b) {
 			continue
 		}
@@ -682,38 +791,48 @@ func stepInputSorted(items []xqt.Item, iters []int64) bool {
 
 func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
 	iters := in.Ints(n.IterCol)
-	items := in.Items(n.ItemCol)
+	items := in.ItemVec(n.ItemCol)
 	if !stepInputSorted(items, iters) {
 		return nil, fmt.Errorf("ralg: step(%v) input not sorted on (item, iter): plan misses a sort", n.Axis)
 	}
 	out := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
 	// group context nodes by container; containers appear in ascending
 	// id order because the input is document-order sorted
+	uniformNodes := false
+	if k, ok := items.Uniform(); ok && k == xqt.KNode {
+		uniformNodes = true
+	}
 	i := 0
-	for i < len(items) {
-		if items[i].K != xqt.KNode {
+	for i < items.Len() {
+		if items.KindAt(i) != xqt.KNode {
 			// attribute nodes have no children etc.; only the parent
 			// axis resolves to their owner
-			if items[i].K == xqt.KAttr && n.Axis == scj.Parent {
-				c := e.Pool.Get(items[i].Cont)
-				owner := c.AttrOwner[items[i].I]
+			if items.KindAt(i) == xqt.KAttr && n.Axis == scj.Parent {
+				c := e.Pool.Get(items.Cont[i])
+				owner := c.AttrOwner[items.I[i]]
 				match := scj.CompileTest(c, n.Test)
 				if match(owner) {
 					out.Col("iter").Int = append(out.Col("iter").Int, iters[i])
-					out.Col("item").Item = append(out.Col("item").Item, xqt.Node(c.ID, owner))
+					out.Col("item").Item.Append(xqt.Node(c.ID, owner))
 				}
 			}
 			i++
 			continue
 		}
-		cont := items[i].Cont
+		cont := items.Cont[i]
 		j := i
-		var ctx scj.Pairs
-		for j < len(items) && items[j].K == xqt.KNode && items[j].Cont == cont {
-			ctx.Pre = append(ctx.Pre, int32(items[j].I))
-			ctx.Iter = append(ctx.Iter, int32(iters[j]))
-			j++
+		if uniformNodes {
+			for j < items.Len() && items.Cont[j] == cont {
+				j++
+			}
+		} else {
+			for j < items.Len() && items.KindAt(j) == xqt.KNode && items.Cont[j] == cont {
+				j++
+			}
 		}
+		// the context relation is emitted as columns straight off the
+		// typed payload vectors
+		ctx := scj.FromColumns(items.I, iters, i, j)
 		c := e.Pool.Get(cont)
 		var res scj.Pairs
 		if e.Par.Workers > 1 {
@@ -723,13 +842,14 @@ func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
 		}
 		ic := out.Col("iter")
 		tc := out.Col("item")
-		base := ic.Len()
+		ibase := ic.Len()
 		ic.Int = append(ic.Int, make([]int64, res.Len())...)
-		tc.Item = append(tc.Item, make([]xqt.Item, res.Len())...)
+		base := tc.Item.growRows(xqt.KNode, res.Len())
 		e.parFill(res.Len(), func(lo, hi int) {
 			for k := lo; k < hi; k++ {
-				ic.Int[base+k] = int64(res.Iter[k])
-				tc.Item[base+k] = xqt.Node(cont, res.Pre[k])
+				ic.Int[ibase+k] = int64(res.Iter[k])
+				tc.Item.Cont[base+k] = cont
+				tc.Item.I[base+k] = int64(res.Pre[k])
 			}
 		})
 		i = j
@@ -740,24 +860,32 @@ func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
 
 func (e *Exec) execAttrStep(n *AttrStep, in *Table) (*Table, error) {
 	iters := in.Ints(n.IterCol)
-	items := in.Items(n.ItemCol)
+	items := in.ItemVec(n.ItemCol)
 	if !stepInputSorted(items, iters) {
 		return nil, fmt.Errorf("ralg: attribute step input not sorted on (item, iter)")
+	}
+	// newRunAt is the splitRuns boundary predicate: row i starts a new
+	// run of identical context items
+	newRunAt := func(i int) bool { return items.At(i) != items.At(i-1) }
+	if k, ok := items.Uniform(); ok && (k == xqt.KNode || k == xqt.KAttr) {
+		newRunAt = func(i int) bool {
+			return items.Cont[i] != items.Cont[i-1] || items.I[i] != items.I[i-1]
+		}
 	}
 	out := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
 	if e.Par.on(in.N) {
 		// chunk at identical-item run boundaries: each run is resolved by
 		// one worker, so concatenating chunk outputs reproduces the
 		// serial (attribute, iter) order
-		rs := splitRuns(in.N, e.Par.Workers, func(i int) bool { return items[i] != items[i-1] })
+		rs := splitRuns(in.N, e.Par.Workers, newRunAt)
 		ics := make([][]int64, len(rs))
-		tcs := make([][]xqt.Item, len(rs))
+		tcs := make([]ItemVec, len(rs))
 		e.Par.parRun(len(rs), func(k int) {
 			ics[k], tcs[k] = e.attrStepRange(n, iters, items, rs[k][0], rs[k][1])
 		})
 		for k := range ics {
 			out.Col("iter").Int = append(out.Col("iter").Int, ics[k]...)
-			out.Col("item").Item = append(out.Col("item").Item, tcs[k]...)
+			out.Col("item").Item.AppendVec(&tcs[k])
 		}
 	} else {
 		ic, tc := e.attrStepRange(n, iters, items, 0, in.N)
@@ -770,23 +898,24 @@ func (e *Exec) execAttrStep(n *AttrStep, in *Table) (*Table, error) {
 
 // attrStepRange resolves the attribute axis for input rows [lo, hi); lo
 // must start a run of identical context items.
-func (e *Exec) attrStepRange(n *AttrStep, iters []int64, items []xqt.Item, lo, hi int) ([]int64, []xqt.Item) {
+func (e *Exec) attrStepRange(n *AttrStep, iters []int64, items *ItemVec, lo, hi int) ([]int64, ItemVec) {
 	var ic []int64
-	var tc []xqt.Item
+	var tc ItemVec
 	i := lo
 	for i < hi {
-		if items[i].K != xqt.KNode {
+		if items.KindAt(i) != xqt.KNode {
 			i++
 			continue
 		}
 		// group the run of identical context nodes so the output stays
 		// (attribute, iter)-ordered
 		j := i
-		for j < hi && items[j] == items[i] {
+		for j < hi && items.KindAt(j) == xqt.KNode &&
+			items.Cont[j] == items.Cont[i] && items.I[j] == items.I[i] {
 			j++
 		}
-		c := e.Pool.Get(items[i].Cont)
-		pre := int32(items[i].I)
+		c := e.Pool.Get(items.Cont[i])
+		pre := int32(items.I[i])
 		if c.Kind[pre] == store.KindElem {
 			ac, alo, ahi := c.Attrs(pre)
 			for a := alo; a < ahi; a++ {
@@ -795,7 +924,7 @@ func (e *Exec) attrStepRange(n *AttrStep, iters []int64, items []xqt.Item, lo, h
 				}
 				for k := i; k < j; k++ {
 					ic = append(ic, iters[k])
-					tc = append(tc, xqt.Attr(ac.ID, a))
+					tc.Append(xqt.Attr(ac.ID, a))
 				}
 			}
 		}
@@ -806,7 +935,7 @@ func (e *Exec) attrStepRange(n *AttrStep, iters []int64, items []xqt.Item, lo, h
 
 func execEBV(n *EBV, in *Table) (*Table, error) {
 	part := in.Ints(n.Part)
-	items := in.Items(n.Item)
+	items := in.ItemVec(n.Item)
 	out := NewTable([]string{n.Part, n.Out}, []ColKind{KInt, KBool})
 	pc := out.Col(n.Part)
 	bc := out.Col(n.Out)
@@ -816,7 +945,7 @@ func execEBV(n *EBV, in *Table) (*Table, error) {
 		for j < len(part) && part[j] == part[i] {
 			j++
 		}
-		v, err := ebvGroup(items[i:j])
+		v, err := ebvGroup(items, i, j)
 		if err != nil {
 			return nil, err
 		}
@@ -828,14 +957,16 @@ func execEBV(n *EBV, in *Table) (*Table, error) {
 	return out, nil
 }
 
-func ebvGroup(items []xqt.Item) (bool, error) {
-	if items[0].IsNode() {
+// ebvGroup computes the effective boolean value of rows [lo, hi) of one
+// iteration group.
+func ebvGroup(items *ItemVec, lo, hi int) (bool, error) {
+	if k := items.KindAt(lo); k == xqt.KNode || k == xqt.KAttr {
 		return true, nil
 	}
-	if len(items) > 1 {
-		return false, fmt.Errorf("xquery error FORG0006: effective boolean value of a sequence of %d atomic values", len(items))
+	if hi-lo > 1 {
+		return false, fmt.Errorf("xquery error FORG0006: effective boolean value of a sequence of %d atomic values", hi-lo)
 	}
-	return ebvAtom(items[0]), nil
+	return ebvAtom(items.At(lo)), nil
 }
 
 func ebvAtom(it xqt.Item) bool {
@@ -876,9 +1007,133 @@ func (e *Exec) atomize(it xqt.Item) xqt.Item {
 	return it
 }
 
-// execFun evaluates row-wise functions. Each case fills its output
-// column through parFill, so large inputs are computed on row chunks in
-// parallel (every row is independent; atomization only reads containers).
+// vecView is a uniformly tagged columnar view of an argument column:
+// integer and boolean table columns view as xs:integer/xs:boolean
+// payload vectors, uniform atom columns expose their payloads directly,
+// and uniform node columns are atomized in bulk through the container's
+// string-value kernels (becoming xs:untypedAtomic, as row-wise
+// atomization would). Mixed-tag columns have no view; the per-row
+// fallback paths handle them.
+type vecView struct {
+	tag xqt.Kind
+	i   []int64
+	f   []float64
+	s   []string
+}
+
+func (v vecView) numeric() bool { return v.tag == xqt.KInt || v.tag == xqt.KDouble }
+
+// view resolves a column to its uniform typed view.
+func (e *Exec) view(c *Col) (vecView, bool) {
+	switch c.Kind {
+	case KInt:
+		return vecView{tag: xqt.KInt, i: c.Int}, true
+	case KBool:
+		iv := make([]int64, len(c.Bool))
+		for j, b := range c.Bool {
+			if b {
+				iv[j] = 1
+			}
+		}
+		return vecView{tag: xqt.KBool, i: iv}, true
+	}
+	vec := &c.Item
+	k, ok := vec.Uniform()
+	if !ok {
+		return vecView{}, false
+	}
+	switch k {
+	case xqt.KInt, xqt.KBool:
+		return vecView{tag: k, i: vec.I}, true
+	case xqt.KDouble:
+		return vecView{tag: k, f: vec.F}, true
+	case xqt.KString, xqt.KUntyped:
+		return vecView{tag: k, s: vec.S}, true
+	}
+	return vecView{tag: xqt.KUntyped, s: e.atomizeNodes(k, vec)}, true
+}
+
+// atomizeNodes computes the string values of a uniform node column,
+// batching per container run (the container lookup is hoisted out of the
+// row loop into the store's bulk kernels).
+func (e *Exec) atomizeNodes(k xqt.Kind, vec *ItemVec) []string {
+	out := make([]string, vec.Len())
+	i := 0
+	for i < vec.Len() {
+		cont := vec.Cont[i]
+		j := i
+		for j < vec.Len() && vec.Cont[j] == cont {
+			j++
+		}
+		c := e.Pool.Get(cont)
+		if k == xqt.KNode {
+			c.StringValues(vec.I[i:j], out[i:j])
+		} else {
+			c.AttrValues(vec.I[i:j], out[i:j])
+		}
+		i = j
+	}
+	return out
+}
+
+// floats materializes the view as xs:double values (the AsDouble cast)
+// in one conversion pass.
+func (v vecView) floats(n int) []float64 {
+	switch v.tag {
+	case xqt.KDouble:
+		return v.f
+	case xqt.KInt, xqt.KBool:
+		out := make([]float64, n)
+		for i, x := range v.i {
+			out[i] = float64(x)
+		}
+		return out
+	default:
+		out := make([]float64, n)
+		for i, s := range v.s {
+			out[i] = xqt.ParseDouble(s)
+		}
+		return out
+	}
+}
+
+// strs materializes the view as xs:string values (the AsString cast).
+func (v vecView) strs(n int) []string {
+	switch v.tag {
+	case xqt.KString, xqt.KUntyped:
+		return v.s
+	case xqt.KInt:
+		out := make([]string, n)
+		for i, x := range v.i {
+			out[i] = strconv.FormatInt(x, 10)
+		}
+		return out
+	case xqt.KBool:
+		out := make([]string, n)
+		for i, x := range v.i {
+			if x != 0 {
+				out[i] = "true"
+			} else {
+				out[i] = "false"
+			}
+		}
+		return out
+	default:
+		out := make([]string, n)
+		for i, x := range v.f {
+			out[i] = xqt.FormatDouble(x)
+		}
+		return out
+	}
+}
+
+// execFun evaluates row-wise functions. The typed-vector kernels of
+// execFunVec cover columns with a uniform tag — one kind dispatch per
+// column, tight loops over the raw payload vectors; mixed-tag columns
+// fall back to the per-row polymorphic path below. Output columns fill
+// through parFill, so large inputs are computed on row chunks in
+// parallel (every row is independent; atomization only reads
+// containers).
 func (e *Exec) execFun(n *Fun, in *Table) (*Table, error) {
 	out := &Table{N: in.N, names: append([]string(nil), in.names...), cols: append([]Col(nil), in.cols...)}
 	switch n.Op {
@@ -907,9 +1162,14 @@ func (e *Exec) execFun(n *Fun, in *Table) (*Table, error) {
 		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
 		return out, nil
 	}
+	if c, ok := e.execFunVec(n, in); ok {
+		out.AddCol(n.Out, c)
+		return out, nil
+	}
 
-	// getter views integer columns as xs:integer items so comparisons
-	// work uniformly over pos/count columns and item columns
+	// per-row fallback for mixed-tag columns. getter views integer
+	// columns as xs:integer items so comparisons work uniformly over
+	// pos/count columns and item columns.
 	getter := func(name string) func(int) xqt.Item {
 		col := in.Col(name)
 		switch col.Kind {
@@ -918,19 +1178,13 @@ func (e *Exec) execFun(n *Fun, in *Table) (*Table, error) {
 		case KBool:
 			return func(i int) xqt.Item { return xqt.Bool(col.Bool[i]) }
 		default:
-			return func(i int) xqt.Item { return col.Item[i] }
-		}
-	}
-	args := make([][]xqt.Item, len(n.Args))
-	for i, name := range n.Args {
-		if in.Col(name).Kind == KItem {
-			args[i] = in.Items(name)
+			vec := &col.Item
+			return func(i int) xqt.Item { return vec.At(i) }
 		}
 	}
 	switch n.Op {
 	case FunEq, FunNe, FunLt, FunLe, FunGt, FunGe:
-		op := map[FunOp]xqt.CmpOp{FunEq: xqt.CmpEq, FunNe: xqt.CmpNe, FunLt: xqt.CmpLt,
-			FunLe: xqt.CmpLe, FunGt: xqt.CmpGt, FunGe: xqt.CmpGe}[n.Op]
+		op := cmpOpOf(n.Op)
 		g0, g1 := getter(n.Args[0]), getter(n.Args[1])
 		c := make([]bool, in.N)
 		e.parFill(in.N, func(lo, hi int) {
@@ -940,6 +1194,16 @@ func (e *Exec) execFun(n *Fun, in *Table) (*Table, error) {
 		})
 		out.AddCol(n.Out, Col{Kind: KBool, Bool: c})
 		return out, nil
+	}
+	// the remaining fallback ops read whole item columns; materialize
+	// them once (comparisons above only need the getter closures)
+	args := make([][]xqt.Item, len(n.Args))
+	for i, name := range n.Args {
+		if in.Col(name).Kind == KItem {
+			args[i] = in.Items(name)
+		}
+	}
+	switch n.Op {
 	case FunNodeBefore, FunNodeAfter, FunNodeIs:
 		c := make([]bool, in.N)
 		e.parFill(in.N, func(lo, hi int) {
@@ -999,8 +1263,8 @@ func (e *Exec) execFun(n *Fun, in *Table) (*Table, error) {
 
 	switch n.Op {
 	case FunAdd, FunSub, FunMul, FunDiv, FunIDiv, FunMod, FunNeg, FunAtomize,
-		FunStringOf, FunNumber, FunConcat, FunNameOf, FunFloor, FunCeil,
-		FunRound, FunStrLen:
+		FunStringOf, FunNumber, FunConcat, FunNameOf, FunLocalName, FunFloor,
+		FunCeil, FunRound, FunStrLen:
 	default:
 		return nil, fmt.Errorf("ralg: unhandled function op %d", n.Op)
 	}
@@ -1027,19 +1291,400 @@ func (e *Exec) execFun(n *Fun, in *Table) (*Table, error) {
 				c[i] = xqt.Str(e.atomize(args[0][i]).AsString() + e.atomize(args[1][i]).AsString())
 			case FunNameOf:
 				c[i] = xqt.Str(e.nameOf(args[0][i]))
+			case FunLocalName:
+				c[i] = xqt.Str(xqt.LocalName(e.nameOf(args[0][i])))
 			case FunFloor:
 				c[i] = xqt.Double(math.Floor(e.atomize(args[0][i]).AsDouble()))
 			case FunCeil:
 				c[i] = xqt.Double(math.Ceil(e.atomize(args[0][i]).AsDouble()))
 			case FunRound:
-				c[i] = xqt.Double(math.Round(e.atomize(args[0][i]).AsDouble()))
+				c[i] = xqt.Double(xqt.Round(e.atomize(args[0][i]).AsDouble()))
 			case FunStrLen:
-				c[i] = xqt.Int(int64(len(e.atomize(args[0][i]).AsString())))
+				c[i] = xqt.Int(int64(utf8.RuneCountInString(e.atomize(args[0][i]).AsString())))
 			}
 		}
 	})
-	out.AddCol(n.Out, Col{Kind: KItem, Item: c})
+	out.AddCol(n.Out, Col{Kind: KItem, Item: NewItemVec(c)})
 	return out, nil
+}
+
+func cmpOpOf(op FunOp) xqt.CmpOp {
+	switch op {
+	case FunEq:
+		return xqt.CmpEq
+	case FunNe:
+		return xqt.CmpNe
+	case FunLt:
+		return xqt.CmpLt
+	case FunLe:
+		return xqt.CmpLe
+	case FunGt:
+		return xqt.CmpGt
+	}
+	return xqt.CmpGe
+}
+
+// uniformIntCol / uniformDoubleCol / uniformStringCol wrap a raw payload
+// vector as a uniform item column.
+func uniformIntCol(vs []int64) Col {
+	return Col{Kind: KItem, Item: ItemVec{Tag: xqt.KInt, n: len(vs), I: vs}}
+}
+
+func uniformDoubleCol(vs []float64) Col {
+	return Col{Kind: KItem, Item: ItemVec{Tag: xqt.KDouble, n: len(vs), F: vs}}
+}
+
+func uniformStringCol(tag xqt.Kind, vs []string) Col {
+	return Col{Kind: KItem, Item: ItemVec{Tag: tag, n: len(vs), S: vs}}
+}
+
+// viewTag is the cheap pre-flight of view: the tag a column's view
+// would have, without materializing payloads or atomizing node columns.
+// Binary kernels probe both columns with it before paying for view.
+func viewTag(c *Col) (xqt.Kind, bool) {
+	switch c.Kind {
+	case KInt:
+		return xqt.KInt, true
+	case KBool:
+		return xqt.KBool, true
+	}
+	k, ok := c.Item.Uniform()
+	if !ok {
+		return xqt.KUntyped, false
+	}
+	if k == xqt.KNode || k == xqt.KAttr {
+		return xqt.KUntyped, true
+	}
+	return k, true
+}
+
+// bothViewable reports whether both argument columns of n can take a
+// typed kernel.
+func bothViewable(n *Fun, in *Table) bool {
+	_, oka := viewTag(in.Col(n.Args[0]))
+	_, okb := viewTag(in.Col(n.Args[1]))
+	return oka && okb
+}
+
+// execFunVec is the typed-vector fast path of execFun: when every
+// argument column has a uniform tag, the operator dispatches on the tag
+// combination once and runs a monomorphic kernel over the raw payload
+// vectors. Returns ok=false when a column is mixed (or the op has no
+// kernel); the caller then takes the per-row path, which computes the
+// identical result.
+func (e *Exec) execFunVec(n *Fun, in *Table) (Col, bool) {
+	nr := in.N
+	switch n.Op {
+	case FunEq, FunNe, FunLt, FunLe, FunGt, FunGe:
+		ta, oka := viewTag(in.Col(n.Args[0]))
+		tb, okb := viewTag(in.Col(n.Args[1]))
+		if !oka || !okb || (ta == xqt.KBool) != (tb == xqt.KBool) {
+			// mixed column, or boolean against non-boolean (which
+			// coerces per row): no kernel
+			return Col{}, false
+		}
+		va, _ := e.view(in.Col(n.Args[0]))
+		vb, _ := e.view(in.Col(n.Args[1]))
+		op := cmpOpOf(n.Op)
+		c := make([]bool, nr)
+		switch {
+		case va.tag == xqt.KBool && vb.tag == xqt.KBool:
+			e.parFill(nr, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c[i] = xqt.CompareInt(va.i[i], vb.i[i], op)
+				}
+			})
+		case va.tag == xqt.KInt && vb.tag == xqt.KInt:
+			e.parFill(nr, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c[i] = xqt.CompareInt(va.i[i], vb.i[i], op)
+				}
+			})
+		case va.numeric() || vb.numeric():
+			fa, fb := va.floats(nr), vb.floats(nr)
+			e.parFill(nr, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c[i] = xqt.CompareFloat(fa[i], fb[i], op)
+				}
+			})
+		default:
+			// string/untyped on both sides compares as strings
+			e.parFill(nr, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c[i] = xqt.CompareString(va.s[i], vb.s[i], op)
+				}
+			})
+		}
+		return Col{Kind: KBool, Bool: c}, true
+
+	case FunAdd, FunSub, FunMul, FunDiv, FunIDiv, FunMod:
+		if !bothViewable(n, in) {
+			return Col{}, false
+		}
+		va, _ := e.view(in.Col(n.Args[0]))
+		vb, _ := e.view(in.Col(n.Args[1]))
+		if va.tag == xqt.KInt && vb.tag == xqt.KInt && n.Op != FunDiv {
+			if n.Op == FunIDiv || n.Op == FunMod {
+				for _, y := range vb.i {
+					if y == 0 {
+						return Col{}, false // NaN rows: per-row path
+					}
+				}
+			}
+			c := make([]int64, nr)
+			e.parFill(nr, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					x, y := va.i[i], vb.i[i]
+					switch n.Op {
+					case FunAdd:
+						c[i] = x + y
+					case FunSub:
+						c[i] = x - y
+					case FunMul:
+						c[i] = x * y
+					case FunIDiv:
+						c[i] = x / y
+					default: // FunMod
+						c[i] = x % y
+					}
+				}
+			})
+			return uniformIntCol(c), true
+		}
+		fa, fb := va.floats(nr), vb.floats(nr)
+		if n.Op == FunIDiv {
+			c := make([]int64, nr)
+			e.parFill(nr, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c[i] = int64(fa[i] / fb[i])
+				}
+			})
+			return uniformIntCol(c), true
+		}
+		c := make([]float64, nr)
+		e.parFill(nr, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x, y := fa[i], fb[i]
+				switch n.Op {
+				case FunAdd:
+					c[i] = x + y
+				case FunSub:
+					c[i] = x - y
+				case FunMul:
+					c[i] = x * y
+				case FunDiv:
+					c[i] = x / y
+				default: // FunMod
+					c[i] = math.Mod(x, y)
+				}
+			}
+		})
+		return uniformDoubleCol(c), true
+
+	case FunNeg:
+		va, ok := e.view(in.Col(n.Args[0]))
+		if !ok {
+			return Col{}, false
+		}
+		if va.tag == xqt.KInt {
+			c := make([]int64, nr)
+			e.parFill(nr, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c[i] = -va.i[i]
+				}
+			})
+			return uniformIntCol(c), true
+		}
+		fa := va.floats(nr)
+		c := make([]float64, nr)
+		e.parFill(nr, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c[i] = -fa[i]
+			}
+		})
+		return uniformDoubleCol(c), true
+
+	case FunAtomize:
+		col := in.Col(n.Args[0])
+		if col.Kind != KItem {
+			return Col{}, false
+		}
+		k, ok := col.Item.Uniform()
+		if !ok {
+			return Col{}, false
+		}
+		if k == xqt.KNode || k == xqt.KAttr {
+			return uniformStringCol(xqt.KUntyped, e.atomizeNodes(k, &col.Item)), true
+		}
+		// atoms atomize to themselves: share the column
+		return Col{Kind: KItem, Item: col.Item}, true
+
+	case FunStringOf:
+		va, ok := e.view(in.Col(n.Args[0]))
+		if !ok {
+			return Col{}, false
+		}
+		return uniformStringCol(xqt.KString, va.strs(nr)), true
+
+	case FunNumber:
+		va, ok := e.view(in.Col(n.Args[0]))
+		if !ok {
+			return Col{}, false
+		}
+		return uniformDoubleCol(va.floats(nr)), true
+
+	case FunConcat:
+		if !bothViewable(n, in) {
+			return Col{}, false
+		}
+		va, _ := e.view(in.Col(n.Args[0]))
+		vb, _ := e.view(in.Col(n.Args[1]))
+		sa, sb := va.strs(nr), vb.strs(nr)
+		c := make([]string, nr)
+		e.parFill(nr, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c[i] = sa[i] + sb[i]
+			}
+		})
+		return uniformStringCol(xqt.KString, c), true
+
+	case FunContains, FunStartsWith:
+		if !bothViewable(n, in) {
+			return Col{}, false
+		}
+		va, _ := e.view(in.Col(n.Args[0]))
+		vb, _ := e.view(in.Col(n.Args[1]))
+		sa, sb := va.strs(nr), vb.strs(nr)
+		c := make([]bool, nr)
+		e.parFill(nr, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if n.Op == FunContains {
+					c[i] = strings.Contains(sa[i], sb[i])
+				} else {
+					c[i] = strings.HasPrefix(sa[i], sb[i])
+				}
+			}
+		})
+		return Col{Kind: KBool, Bool: c}, true
+
+	case FunFloor, FunCeil, FunRound:
+		va, ok := e.view(in.Col(n.Args[0]))
+		if !ok {
+			return Col{}, false
+		}
+		fa := va.floats(nr)
+		c := make([]float64, nr)
+		e.parFill(nr, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				switch n.Op {
+				case FunFloor:
+					c[i] = math.Floor(fa[i])
+				case FunCeil:
+					c[i] = math.Ceil(fa[i])
+				default:
+					c[i] = xqt.Round(fa[i])
+				}
+			}
+		})
+		return uniformDoubleCol(c), true
+
+	case FunStrLen:
+		va, ok := e.view(in.Col(n.Args[0]))
+		if !ok {
+			return Col{}, false
+		}
+		sa := va.strs(nr)
+		c := make([]int64, nr)
+		e.parFill(nr, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c[i] = int64(utf8.RuneCountInString(sa[i]))
+			}
+		})
+		return uniformIntCol(c), true
+
+	case FunNameOf, FunLocalName:
+		col := in.Col(n.Args[0])
+		if col.Kind != KItem {
+			return Col{}, false
+		}
+		vec := &col.Item
+		k, ok := vec.Uniform()
+		if !ok || (k != xqt.KNode && k != xqt.KAttr) {
+			return Col{}, false
+		}
+		c := make([]string, nr)
+		i := 0
+		for i < nr {
+			cont := vec.Cont[i]
+			j := i
+			for j < nr && vec.Cont[j] == cont {
+				j++
+			}
+			cc := e.Pool.Get(cont)
+			if k == xqt.KNode {
+				cc.NamesOf(vec.I[i:j], c[i:j])
+			} else {
+				cc.AttrNames(vec.I[i:j], c[i:j])
+			}
+			i = j
+		}
+		if n.Op == FunLocalName {
+			for i := range c {
+				c[i] = xqt.LocalName(c[i])
+			}
+		}
+		return uniformStringCol(xqt.KString, c), true
+
+	case FunIsNumeric:
+		col := in.Col(n.Args[0])
+		if col.Kind != KItem {
+			return Col{}, false
+		}
+		c := make([]bool, nr)
+		if k, ok := col.Item.Uniform(); ok {
+			num := k == xqt.KInt || k == xqt.KDouble
+			for i := range c {
+				c[i] = num
+			}
+		} else {
+			for i, k := range col.Item.Tags {
+				c[i] = k == xqt.KInt || k == xqt.KDouble
+			}
+		}
+		return Col{Kind: KBool, Bool: c}, true
+
+	case FunEbvAtom:
+		col := in.Col(n.Args[0])
+		if col.Kind != KItem {
+			return Col{}, false
+		}
+		vec := &col.Item
+		k, ok := vec.Uniform()
+		if !ok {
+			return Col{}, false
+		}
+		c := make([]bool, nr)
+		switch k {
+		case xqt.KBool, xqt.KInt:
+			for i := range c {
+				c[i] = vec.I[i] != 0
+			}
+		case xqt.KDouble:
+			for i := range c {
+				c[i] = vec.F[i] != 0 && !math.IsNaN(vec.F[i])
+			}
+		case xqt.KString, xqt.KUntyped:
+			for i := range c {
+				c[i] = vec.S[i] != ""
+			}
+		default: // nodes are always true
+			for i := range c {
+				c[i] = true
+			}
+		}
+		return Col{Kind: KBool, Bool: c}, true
+	}
+	return Col{}, false
 }
 
 func (e *Exec) nameOf(it xqt.Item) string {
@@ -1109,45 +1754,126 @@ func cmpClass(items []xqt.Item) (numeric bool, uniform bool) {
 	return sawNum, !(sawNum && sawStr)
 }
 
+// atomCol materializes the per-row atomization of an item column (the
+// mixed-tag fallback of the existential joins).
+func (e *Exec) atomCol(c *Col) []xqt.Item {
+	vec := &c.Item
+	out := make([]xqt.Item, vec.Len())
+	for i := range out {
+		out[i] = e.atomize(vec.At(i))
+	}
+	return out
+}
+
+// viewAtoms reconstructs the atomized items of a viewed column (used
+// when a uniform column meets a heterogeneous partner and the join falls
+// back to per-pair comparison).
+func viewAtoms(v vecView, n int) []xqt.Item {
+	out := make([]xqt.Item, n)
+	switch v.tag {
+	case xqt.KInt, xqt.KBool:
+		for i, x := range v.i {
+			out[i] = xqt.Item{K: v.tag, I: x}
+		}
+	case xqt.KDouble:
+		for i, x := range v.f {
+			out[i] = xqt.Double(x)
+		}
+	default:
+		for i, s := range v.s {
+			out[i] = xqt.Item{K: v.tag, S: s}
+		}
+	}
+	return out
+}
+
+// execExistJoin evaluates the existential general-comparison join. Both
+// inputs resolve to raw xs:double or string key vectors — through the
+// typed views when the columns are uniform (the common case), through
+// per-row atomization otherwise — and the join kernels below run over
+// those raw vectors.
 func (e *Exec) execExistJoin(n *ExistJoin, l, r *Table) (*Table, error) {
 	liter := l.Ints(n.LIter)
 	riter := r.Ints(n.RIter)
-	litem := l.Items(n.LItem)
-	ritem := r.Items(n.RItem)
-	latoms := make([]xqt.Item, len(litem))
-	for i, it := range litem {
-		latoms[i] = e.atomize(it)
+
+	var latoms, ratoms []xqt.Item // materialized only off the fast path
+	lv, lok := e.view(l.Col(n.LItem))
+	rv, rok := e.view(r.Col(n.RItem))
+	lnum, lu := lv.numeric(), true
+	rnum, ru := rv.numeric(), true
+	if !lok {
+		latoms = e.atomCol(l.Col(n.LItem))
+		lnum, lu = cmpClass(latoms)
 	}
-	ratoms := make([]xqt.Item, len(ritem))
-	for i, it := range ritem {
-		ratoms[i] = e.atomize(it)
+	if !rok {
+		ratoms = e.atomCol(r.Col(n.RItem))
+		rnum, ru = cmpClass(ratoms)
 	}
-	lnum, lu := cmpClass(latoms)
-	rnum, ru := cmpClass(ratoms)
-	uniform := lu && ru && (lnum == rnum || len(latoms) == 0 || len(ratoms) == 0)
+	uniform := lu && ru && (lnum == rnum || l.N == 0 || r.N == 0)
+	numeric := lnum || rnum
+
+	// vector materializers for the uniform paths
+	toFloats := func(v vecView, ok bool, atoms []xqt.Item, n int) []float64 {
+		if ok {
+			return v.floats(n)
+		}
+		out := make([]float64, n)
+		for i, it := range atoms {
+			out[i] = it.AsDouble()
+		}
+		return out
+	}
+	toStrs := func(v vecView, ok bool, atoms []xqt.Item, n int) []string {
+		if ok {
+			return v.strs(n)
+		}
+		out := make([]string, n)
+		for i, it := range atoms {
+			out[i] = it.AsString()
+		}
+		return out
+	}
 
 	var p1, p2 []int64
 	switch {
 	case n.Cmp == xqt.CmpEq && uniform:
-		p1, p2 = existHashJoin(liter, latoms, riter, ratoms, lnum || rnum)
+		if numeric {
+			p1, p2 = existHashJoinF(liter, toFloats(lv, lok, latoms, l.N), riter, toFloats(rv, rok, ratoms, r.N))
+		} else {
+			p1, p2 = existHashJoinS(liter, toStrs(lv, lok, latoms, l.N), riter, toStrs(rv, rok, ratoms, r.N))
+		}
 		e.Stats.HashJoins++
 	case n.Cmp != xqt.CmpEq && n.Cmp != xqt.CmpNe && uniform:
 		// Figure 8(b): under existential semantics an ordering
 		// comparison only needs each iteration's extremum, so both
 		// sides reduce to one row per iter before the join.
-		numeric := lnum || rnum
-		switch n.Cmp {
-		case xqt.CmpLt, xqt.CmpLe:
-			liter, latoms = reduceExtremum(liter, latoms, numeric, false) // min
-			riter, ratoms = reduceExtremum(riter, ratoms, numeric, true)  // max
-		default:
-			liter, latoms = reduceExtremum(liter, latoms, numeric, true)
-			riter, ratoms = reduceExtremum(riter, ratoms, numeric, false)
+		var lf, rf []float64
+		var ls, rs []string
+		if numeric {
+			lf = toFloats(lv, lok, latoms, l.N)
+			rf = toFloats(rv, rok, ratoms, r.N)
+		} else {
+			ls = toStrs(lv, lok, latoms, l.N)
+			rs = toStrs(rv, rok, ratoms, r.N)
+		}
+		lmax := n.Cmp == xqt.CmpGt || n.Cmp == xqt.CmpGe
+		if numeric {
+			liter, lf = reduceExtremumF(liter, lf, lmax)
+			riter, rf = reduceExtremumF(riter, rf, !lmax)
+		} else {
+			liter, ls = reduceExtremumS(liter, ls, lmax)
+			riter, rs = reduceExtremumS(riter, rs, !lmax)
 		}
 		e.Stats.ExistAggr++
-		p1, p2 = e.existThetaJoin(n, liter, latoms, riter, ratoms, numeric)
+		p1, p2 = e.existThetaJoin(n, liter, lf, ls, riter, rf, rs)
 	default:
 		// heterogeneous inputs: per-pair promotion via nested loop
+		if latoms == nil {
+			latoms = viewAtoms(lv, l.N)
+		}
+		if ratoms == nil {
+			ratoms = viewAtoms(rv, r.N)
+		}
 		e.Stats.ThetaNL++
 		for i := range latoms {
 			for j := range ratoms {
@@ -1166,68 +1892,85 @@ func (e *Exec) execExistJoin(n *ExistJoin, l, r *Table) (*Table, error) {
 	return out, nil
 }
 
-// reduceExtremum keeps one row per iter: the minimum (max=false) or
-// maximum (max=true) value under numeric or string ordering. Input iters
-// are clustered (the inputs are [iter, pos] sorted); the output keeps one
-// row per cluster in input order.
-func reduceExtremum(iters []int64, atoms []xqt.Item, numeric, max bool) ([]int64, []xqt.Item) {
-	less := func(a, b xqt.Item) bool {
-		if numeric {
-			return a.AsDouble() < b.AsDouble()
-		}
-		return a.AsString() < b.AsString()
-	}
+// reduceExtremumF keeps one row per iter: the minimum (max=false) or
+// maximum (max=true) xs:double value. Input iters are clustered (the
+// inputs are [iter, pos] sorted); the output keeps one row per cluster
+// in input order. NaN is never less than anything, so a leading NaN
+// survives — matching the item-at-a-time comparison semantics.
+func reduceExtremumF(iters []int64, vals []float64, max bool) ([]int64, []float64) {
 	var oi []int64
-	var oa []xqt.Item
+	var ov []float64
 	i := 0
 	for i < len(iters) {
-		best := atoms[i]
+		best := vals[i]
 		j := i + 1
 		for j < len(iters) && iters[j] == iters[i] {
-			if (max && less(best, atoms[j])) || (!max && less(atoms[j], best)) {
-				best = atoms[j]
+			if (max && best < vals[j]) || (!max && vals[j] < best) {
+				best = vals[j]
 			}
 			j++
 		}
 		oi = append(oi, iters[i])
-		oa = append(oa, best)
+		ov = append(ov, best)
 		i = j
 	}
-	return oi, oa
+	return oi, ov
 }
 
-// existHashJoin evaluates an existential eq join: hash the right input by
-// comparison value, probe in left order, and eliminate duplicate
-// (iter1, iter2) pairs per left-iteration run (the merge-style δ of
-// §4.2).
-func existHashJoin(liter []int64, latoms []xqt.Item, riter []int64, ratoms []xqt.Item, numeric bool) (p1, p2 []int64) {
-	key := func(it xqt.Item) (string, bool) {
-		if numeric {
-			f := it.AsDouble()
-			if math.IsNaN(f) {
-				return "", false
+// reduceExtremumS is reduceExtremumF under string ordering.
+func reduceExtremumS(iters []int64, vals []string, max bool) ([]int64, []string) {
+	var oi []int64
+	var ov []string
+	i := 0
+	for i < len(iters) {
+		best := vals[i]
+		j := i + 1
+		for j < len(iters) && iters[j] == iters[i] {
+			if (max && best < vals[j]) || (!max && vals[j] < best) {
+				best = vals[j]
 			}
-			var b [8]byte
-			v := math.Float64bits(f)
-			for i := 0; i < 8; i++ {
-				b[i] = byte(v >> uint(8*i))
-			}
-			return string(b[:]), true
+			j++
 		}
-		return it.AsString(), true
+		oi = append(oi, iters[i])
+		ov = append(ov, best)
+		i = j
 	}
-	ht := make(map[string][]int64, len(ratoms))
-	for j, it := range ratoms {
-		if k, ok := key(it); ok {
-			ht[k] = append(ht[k], riter[j])
-		}
-	}
-	for i := range latoms {
-		k, ok := key(latoms[i])
-		if !ok {
+	return oi, ov
+}
+
+// existHashJoinF evaluates an existential eq join over raw xs:double key
+// vectors: hash the right input by value bits (NaN joins nothing), probe
+// in left order, and eliminate duplicate (iter1, iter2) pairs per
+// left-iteration run (the merge-style δ of §4.2).
+func existHashJoinF(liter []int64, lf []float64, riter []int64, rf []float64) (p1, p2 []int64) {
+	ht := make(map[uint64][]int64, len(rf))
+	for j, f := range rf {
+		if math.IsNaN(f) {
 			continue
 		}
-		for _, i2 := range ht[k] {
+		k := math.Float64bits(f)
+		ht[k] = append(ht[k], riter[j])
+	}
+	for i, f := range lf {
+		if math.IsNaN(f) {
+			continue
+		}
+		for _, i2 := range ht[math.Float64bits(f)] {
+			p1 = append(p1, liter[i])
+			p2 = append(p2, i2)
+		}
+	}
+	return dedupPairs(p1, p2)
+}
+
+// existHashJoinS is existHashJoinF over string keys.
+func existHashJoinS(liter []int64, ls []string, riter []int64, rs []string) (p1, p2 []int64) {
+	ht := make(map[string][]int64, len(rs))
+	for j, s := range rs {
+		ht[s] = append(ht[s], riter[j])
+	}
+	for i, s := range ls {
+		for _, i2 := range ht[s] {
 			p1 = append(p1, liter[i])
 			p2 = append(p2, i2)
 		}
@@ -1239,33 +1982,38 @@ func existHashJoin(liter []int64, latoms []xqt.Item, riter []int64, ratoms []xqt
 // of §4.2: a small join sample estimates the hit rate, then either
 // nested-loop join (output directly in [iter1, iter2] order) or a
 // transient sorted index with binary-search lookups (output refine-sorted
-// per iter1 chunk) evaluates the join.
-func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, latoms []xqt.Item, riter []int64, ratoms []xqt.Item, numeric bool) (p1, p2 []int64) {
-	val := func(it xqt.Item) float64 { return it.AsDouble() }
-	cmpOK := func(a, b xqt.Item) bool { return xqt.Compare(a, b, n.Cmp) }
+// per iter1 chunk) evaluates the join. One of (lf, rf) and (ls, rs)
+// carries the promoted comparison keys.
+func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, lf []float64, ls []string, riter []int64, rf []float64, rs []string) (p1, p2 []int64) {
+	numeric := lf != nil || rf != nil
+	nl, nrt := len(liter), len(riter)
+	cmpOK := func(i, k int) bool {
+		if numeric {
+			return xqt.CompareFloat(lf[i], rf[k], n.Cmp)
+		}
+		return xqt.CompareString(ls[i], rs[k], n.Cmp)
+	}
 
 	strategy := n.Strategy
-	small := int64(len(latoms))*int64(len(ratoms)) <= 4096
+	small := int64(nl)*int64(nrt) <= 4096
 	// build the transient index (needed for sampling and index lookup)
-	perm := make([]int32, len(ratoms))
+	perm := make([]int32, nrt)
 	for i := range perm {
 		perm[i] = int32(i)
 	}
 	if numeric {
-		sort.SliceStable(perm, func(a, b int) bool { return val(ratoms[perm[a]]) < val(ratoms[perm[b]]) })
+		sort.SliceStable(perm, func(a, b int) bool { return rf[perm[a]] < rf[perm[b]] })
 	} else {
-		sort.SliceStable(perm, func(a, b int) bool {
-			return ratoms[perm[a]].AsString() < ratoms[perm[b]].AsString()
-		})
+		sort.SliceStable(perm, func(a, b int) bool { return rs[perm[a]] < rs[perm[b]] })
 	}
-	matchRange := func(a xqt.Item) (int, int) {
-		// rows [lo, hi) of perm satisfy a Cmp r
+	matchRange := func(i int) (int, int) {
+		// rows [lo, hi) of perm satisfy l[i] Cmp r
 		switch n.Cmp {
 		case xqt.CmpLt, xqt.CmpLe:
-			lo := sort.Search(len(perm), func(k int) bool { return cmpOK(a, ratoms[perm[k]]) })
+			lo := sort.Search(len(perm), func(k int) bool { return cmpOK(i, int(perm[k])) })
 			return lo, len(perm)
 		default: // Gt, Ge
-			hi := sort.Search(len(perm), func(k int) bool { return !cmpOK(a, ratoms[perm[k]]) })
+			hi := sort.Search(len(perm), func(k int) bool { return !cmpOK(i, int(perm[k])) })
 			return 0, hi
 		}
 	}
@@ -1275,17 +2023,17 @@ func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, latoms []xqt.Item, ri
 		} else {
 			// sample up to 64 probes to estimate the hit rate
 			probes := 64
-			if len(latoms) < probes {
-				probes = len(latoms)
+			if nl < probes {
+				probes = nl
 			}
 			hits := int64(0)
 			for s := 0; s < probes; s++ {
-				i := s * len(latoms) / probes
-				lo, hi := matchRange(latoms[i])
+				i := s * nl / probes
+				lo, hi := matchRange(i)
 				hits += int64(hi - lo)
 			}
-			est := hits * int64(len(latoms)) / int64(probes)
-			if est*4 >= int64(len(latoms))*int64(len(ratoms)) {
+			est := hits * int64(nl) / int64(probes)
+			if est*4 >= int64(nl)*int64(nrt) {
 				strategy = ThetaNestedLoop // result construction dominates
 			} else {
 				strategy = ThetaIndex
@@ -1295,9 +2043,9 @@ func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, latoms []xqt.Item, ri
 	switch strategy {
 	case ThetaNestedLoop:
 		e.Stats.ThetaNL++
-		for i := range latoms {
-			for j := range ratoms {
-				if cmpOK(latoms[i], ratoms[j]) {
+		for i := 0; i < nl; i++ {
+			for j := 0; j < nrt; j++ {
+				if cmpOK(i, j) {
 					p1 = append(p1, liter[i])
 					p2 = append(p2, riter[j])
 				}
@@ -1305,8 +2053,8 @@ func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, latoms []xqt.Item, ri
 		}
 	default:
 		e.Stats.ThetaIdx++
-		for i := range latoms {
-			lo, hi := matchRange(latoms[i])
+		for i := 0; i < nl; i++ {
+			lo, hi := matchRange(i)
 			start := len(p2)
 			for k := lo; k < hi; k++ {
 				p1 = append(p1, liter[i])
@@ -1476,7 +2224,7 @@ func (e *Exec) execElem(n *ElemConstruct, in []*Table) (*Table, error) {
 		flush()
 		b.End()
 		ic.Int = append(ic.Int, it)
-		tc.Item = append(tc.Item, xqt.Node(e.Transient.ID, pre))
+		tc.Item.Append(xqt.Node(e.Transient.ID, pre))
 	}
 	out.N = ic.Len()
 	return out, nil

@@ -13,8 +13,8 @@ func TestRangeGen(t *testing.T) {
 	in := NewTable([]string{"iter", "lo", "hi"}, []ColKind{KInt, KItem, KItem})
 	in.N = 3
 	in.Col("iter").Int = []int64{1, 2, 3}
-	in.Col("lo").Item = []xqt.Item{xqt.Int(1), xqt.Int(5), xqt.Int(3)}
-	in.Col("hi").Item = []xqt.Item{xqt.Int(3), xqt.Int(4), xqt.Int(3)}
+	in.Col("lo").Item = ItemsOf(xqt.Int(1), xqt.Int(5), xqt.Int(3))
+	in.Col("hi").Item = ItemsOf(xqt.Int(3), xqt.Int(4), xqt.Int(3))
 	rg := &RangeGen{Iter: "iter", Lo: "lo", Hi: "hi"}
 	rg.SetInput(0, &Lit{Tab: in})
 	out := run(t, rg)
@@ -81,7 +81,7 @@ func TestExistJoinStrategiesAgree(t *testing.T) {
 			for i := 0; i < n; i++ {
 				tab.Col("iter").Int = append(tab.Col("iter").Int, iter)
 				tab.Col("pos").Int = append(tab.Col("pos").Int, 1)
-				tab.Col("item").Item = append(tab.Col("item").Item, xqt.Int(int64(rng.Intn(20))))
+				tab.Col("item").Item.Append(xqt.Int(int64(rng.Intn(20))))
 				if rng.Intn(2) == 0 {
 					iter++
 				}
@@ -155,7 +155,7 @@ func TestAttrStep(t *testing.T) {
 	ctx := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
 	ctx.N = 3
 	ctx.Col("iter").Int = []int64{1, 2, 1}
-	ctx.Col("item").Item = []xqt.Item{xqt.Node(c.ID, 1), xqt.Node(c.ID, 1), xqt.Node(c.ID, 2)}
+	ctx.Col("item").Item = ItemsOf(xqt.Node(c.ID, 1), xqt.Node(c.ID, 1), xqt.Node(c.ID, 2))
 	srt := NewSort(&Lit{Tab: ctx}, "item", "iter")
 	all := &AttrStep{IterCol: "iter", ItemCol: "item"}
 	all.SetInput(0, srt)

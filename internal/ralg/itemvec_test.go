@@ -1,0 +1,288 @@
+package ralg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mxq/internal/store"
+	"mxq/internal/xqt"
+)
+
+func randItem(rng *rand.Rand) xqt.Item {
+	switch rng.Intn(7) {
+	case 0:
+		return xqt.Int(int64(rng.Intn(100) - 50))
+	case 1:
+		return xqt.Double(float64(rng.Intn(100)) / 4)
+	case 2:
+		return xqt.Str(string(rune('a' + rng.Intn(26))))
+	case 3:
+		return xqt.Untyped(string(rune('A' + rng.Intn(26))))
+	case 4:
+		return xqt.Bool(rng.Intn(2) == 0)
+	case 5:
+		return xqt.Node(int32(rng.Intn(3)), int32(rng.Intn(1000)))
+	default:
+		return xqt.Attr(int32(rng.Intn(3)), int32(rng.Intn(100)))
+	}
+}
+
+// TestItemVecRoundTrip: any item sequence survives the typed-vector
+// representation exactly (At, Slice, Append agree with the source).
+func TestItemVecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		items := make([]xqt.Item, n)
+		for i := range items {
+			items[i] = randItem(rng)
+		}
+		v := NewItemVec(items)
+		if v.Len() != n {
+			t.Fatalf("Len = %d, want %d", v.Len(), n)
+		}
+		for i, want := range items {
+			if got := v.At(i); got != want {
+				t.Fatalf("trial %d row %d: At = %+v, want %+v", trial, i, got, want)
+			}
+			if v.KindAt(i) != want.K {
+				t.Fatalf("KindAt(%d) = %v, want %v", i, v.KindAt(i), want.K)
+			}
+		}
+		for i, got := range v.Slice() {
+			if got != items[i] {
+				t.Fatalf("Slice[%d] = %+v, want %+v", i, got, items[i])
+			}
+		}
+	}
+}
+
+// TestItemVecUniformDetection: single-kind sequences keep the uniform
+// representation (no tag vector), mixed ones do not.
+func TestItemVecUniformDetection(t *testing.T) {
+	u := ItemsOf(xqt.Int(1), xqt.Int(2), xqt.Int(3))
+	if k, ok := u.Uniform(); !ok || k != xqt.KInt {
+		t.Errorf("int column: Uniform = (%v, %v)", k, ok)
+	}
+	if u.Tags != nil {
+		t.Error("uniform column materialized a tag vector")
+	}
+	m := ItemsOf(xqt.Int(1), xqt.Str("x"))
+	if _, ok := m.Uniform(); ok {
+		t.Error("mixed column reported uniform")
+	}
+	if got := m.At(0); got != xqt.Int(1) {
+		t.Errorf("mixed At(0) = %+v", got)
+	}
+	if got := m.At(1); got != xqt.Str("x") {
+		t.Errorf("mixed At(1) = %+v", got)
+	}
+	// going mixed after a uniform prefix backfills the tags
+	u.Append(xqt.Double(2.5))
+	if _, ok := u.Uniform(); ok {
+		t.Error("column stayed uniform after a foreign append")
+	}
+	want := []xqt.Item{xqt.Int(1), xqt.Int(2), xqt.Int(3), xqt.Double(2.5)}
+	for i, w := range want {
+		if u.At(i) != w {
+			t.Errorf("row %d = %+v, want %+v", i, u.At(i), w)
+		}
+	}
+}
+
+// TestItemVecAppendVecAndGather: concatenation and gathering preserve
+// values for every uniform/mixed combination.
+func TestItemVecAppendVecAndGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	mk := func(uniform bool, n int) ([]xqt.Item, ItemVec) {
+		items := make([]xqt.Item, n)
+		for i := range items {
+			if uniform {
+				items[i] = xqt.Int(int64(i))
+			} else {
+				items[i] = randItem(rng)
+			}
+		}
+		return items, NewItemVec(items)
+	}
+	for _, du := range []bool{true, false} {
+		for _, su := range []bool{true, false} {
+			dItems, dst := mk(du, 5)
+			sItems, src := mk(su, 7)
+			dst.AppendVec(&src)
+			all := append(append([]xqt.Item(nil), dItems...), sItems...)
+			if dst.Len() != len(all) {
+				t.Fatalf("AppendVec length %d, want %d", dst.Len(), len(all))
+			}
+			for i, w := range all {
+				if dst.At(i) != w {
+					t.Fatalf("du=%v su=%v row %d: %+v want %+v", du, su, i, dst.At(i), w)
+				}
+			}
+			idx := []int32{11, 0, 3, 3, 9}
+			g := dst.Gather(idx)
+			for i, j := range idx {
+				if g.At(i) != all[j] {
+					t.Fatalf("gather row %d: %+v want %+v", i, g.At(i), all[j])
+				}
+			}
+		}
+	}
+}
+
+// TestItemVecGrowRows: bulk-grown node rows are writable through the raw
+// payload vectors (the Step output path).
+func TestItemVecGrowRows(t *testing.T) {
+	var v ItemVec
+	v.Append(xqt.Node(1, 7))
+	base := v.growRows(xqt.KNode, 3)
+	for k := 0; k < 3; k++ {
+		v.Cont[base+k] = 2
+		v.I[base+k] = int64(10 + k)
+	}
+	if k, ok := v.Uniform(); !ok || k != xqt.KNode {
+		t.Fatalf("node column not uniform: (%v, %v)", k, ok)
+	}
+	want := []xqt.Item{xqt.Node(1, 7), xqt.Node(2, 10), xqt.Node(2, 11), xqt.Node(2, 12)}
+	for i, w := range want {
+		if v.At(i) != w {
+			t.Errorf("row %d = %+v, want %+v", i, v.At(i), w)
+		}
+	}
+	// growing a different kind breaks uniformity but keeps the values
+	b2 := v.growRows(xqt.KUntyped, 1)
+	v.S[b2] = "tail"
+	if _, ok := v.Uniform(); ok {
+		t.Error("column stayed uniform after growing a foreign kind")
+	}
+	if v.At(4) != xqt.Untyped("tail") {
+		t.Errorf("row 4 = %+v", v.At(4))
+	}
+	if v.At(0) != xqt.Node(1, 7) {
+		t.Errorf("row 0 corrupted: %+v", v.At(0))
+	}
+}
+
+// TestItemVecEmptyLeast: the order-by empty-sequence sentinel survives
+// the vector representation and still ranks before every value.
+func TestItemVecEmptyLeast(t *testing.T) {
+	v := ItemsOf(xqt.EmptyLeast, xqt.Int(-1<<60))
+	a, b := v.At(0), v.At(1)
+	if !xqt.IsEmptyLeast(a) {
+		t.Fatalf("EmptyLeast did not round-trip: %+v", a)
+	}
+	if !xqt.SortLess(a, b) || xqt.SortLess(b, a) {
+		t.Error("EmptyLeast must sort before any value after the round-trip")
+	}
+}
+
+// demote returns a copy of v with the tag vector materialized, so the
+// executor treats it as mixed and takes the per-row polymorphic path —
+// the reference implementation for the kernel-agreement test below.
+func demote(v ItemVec) ItemVec {
+	out := v
+	out.Tags = make([]xqt.Kind, v.Len())
+	for i := range out.Tags {
+		out.Tags[i] = v.Tag
+	}
+	return out
+}
+
+// TestExecFunVecMatchesFallback: the typed-vector kernels and the
+// per-row polymorphic path must agree bit-for-bit on every op and kind
+// combination (the same values run through both representations).
+func TestExecFunVecMatchesFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 64
+	mk := func(kind xqt.Kind) ItemVec {
+		items := make([]xqt.Item, n)
+		for i := range items {
+			switch kind {
+			case xqt.KInt:
+				items[i] = xqt.Int(int64(rng.Intn(21) - 10))
+			case xqt.KDouble:
+				items[i] = xqt.Double(float64(rng.Intn(41))/4 - 5)
+			case xqt.KBool:
+				items[i] = xqt.Bool(rng.Intn(2) == 0)
+			case xqt.KUntyped:
+				items[i] = xqt.Untyped([]string{"1", "2.5", "x", ""}[rng.Intn(4)])
+			default:
+				items[i] = xqt.Str([]string{"a", "ab", "b", ""}[rng.Intn(4)])
+			}
+		}
+		return NewItemVec(items)
+	}
+	kinds := []xqt.Kind{xqt.KInt, xqt.KDouble, xqt.KString, xqt.KUntyped, xqt.KBool}
+	binary := []FunOp{FunAdd, FunSub, FunMul, FunDiv, FunIDiv, FunMod,
+		FunEq, FunNe, FunLt, FunLe, FunGt, FunGe,
+		FunConcat, FunContains, FunStartsWith}
+	unary := []FunOp{FunNeg, FunStringOf, FunNumber, FunFloor, FunCeil,
+		FunRound, FunStrLen, FunAtomize, FunEbvAtom, FunIsNumeric}
+	pool := store.NewPool()
+	mkTab := func(cols ...ItemVec) *Table {
+		names := []string{"a", "b"}[:len(cols)]
+		tab := &Table{N: n}
+		for i, c := range cols {
+			tab.AddCol(names[i], Col{Kind: KItem, Item: c})
+		}
+		return tab
+	}
+	check := func(op FunOp, fast, slow *Table) {
+		t.Helper()
+		fc, sc := fast.Col("o"), slow.Col("o")
+		if fc.Kind != sc.Kind {
+			t.Fatalf("op %d: output kinds differ: %v vs %v", op, fc.Kind, sc.Kind)
+		}
+		for i := 0; i < n; i++ {
+			switch fc.Kind {
+			case KBool:
+				if fc.Bool[i] != sc.Bool[i] {
+					t.Fatalf("op %d row %d: %v vs %v", op, i, fc.Bool[i], sc.Bool[i])
+				}
+			default:
+				a, b := fc.Item.At(i), sc.Item.At(i)
+				// compare doubles by bit pattern so NaN == NaN
+				same := a == b || (a.K == xqt.KDouble && b.K == xqt.KDouble &&
+					math.Float64bits(a.F) == math.Float64bits(b.F))
+				if !same {
+					t.Fatalf("op %d row %d: %+v vs %+v", op, i, a, b)
+				}
+			}
+		}
+	}
+	for _, op := range binary {
+		for _, ka := range kinds {
+			for _, kb := range kinds {
+				a, b := mk(ka), mk(kb)
+				fn := &Fun{Op: op, Args: []string{"a", "b"}, Out: "o"}
+				ex := NewExec(pool, nil)
+				fast, err := ex.execFun(fn, mkTab(a, b))
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow, err := ex.execFun(fn, mkTab(demote(a), demote(b)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(op, fast, slow)
+			}
+		}
+	}
+	for _, op := range unary {
+		for _, ka := range kinds {
+			a := mk(ka)
+			fn := &Fun{Op: op, Args: []string{"a"}, Out: "o"}
+			ex := NewExec(pool, nil)
+			fast, err := ex.execFun(fn, mkTab(a))
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := ex.execFun(fn, mkTab(demote(a)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(op, fast, slow)
+		}
+	}
+}

@@ -104,7 +104,7 @@ func tablesEqual(a, b *Table) bool {
 					return false
 				}
 			default:
-				if ca.Item[r] != cb.Item[r] {
+				if ca.Item.At(r) != cb.Item.At(r) {
 					return false
 				}
 			}
@@ -154,7 +154,7 @@ func TestParallelOperatorsMatchSerial(t *testing.T) {
 	tab.N = n
 	tab.Col("iter").Int = iters
 	tab.Col("v").Int = vals
-	tab.Col("item").Item = items
+	tab.Col("item").Item = NewItemVec(items)
 	tab.Col("b").Bool = bools
 	in := &Lit{Tab: tab}
 
@@ -215,7 +215,7 @@ func TestParallelUnclusteredFallback(t *testing.T) {
 	parts := []int64{3, 1, 3, 2, 1, 3, 2, 1, 3, 1}
 	for i, p := range parts {
 		tab.Col("part").Int = append(tab.Col("part").Int, p)
-		tab.Col("item").Item = append(tab.Col("item").Item, xqt.Int(int64(i)))
+		tab.Col("item").Item.Append(xqt.Int(int64(i)))
 	}
 	tab.N = len(parts)
 	in := &Lit{Tab: tab}
@@ -257,7 +257,8 @@ func TestParallelAttrStep(t *testing.T) {
 			continue
 		}
 		tab.Col("iter").Int = append(tab.Col("iter").Int, it, it+1)
-		tab.Col("item").Item = append(tab.Col("item").Item, xqt.Node(c.ID, p), xqt.Node(c.ID, p))
+		tab.Col("item").Item.Append(xqt.Node(c.ID, p))
+		tab.Col("item").Item.Append(xqt.Node(c.ID, p))
 	}
 	tab.N = tab.Col("iter").Len()
 	for _, nametest := range []string{"", "id"} {

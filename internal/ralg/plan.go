@@ -173,8 +173,9 @@ const (
 	FunEbvAtom    // singleton atom -> effective boolean value
 	FunFloor      // -> xs:double
 	FunCeil       // -> xs:double
-	FunRound      // -> xs:double
-	FunStrLen     // -> xs:integer
+	FunRound      // -> xs:double (halves round toward positive infinity)
+	FunStrLen     // -> xs:integer (characters, not bytes)
+	FunLocalName  // node -> local part of the name (prefix stripped)
 )
 
 // Fun computes Out = Op(Args...) row-wise.

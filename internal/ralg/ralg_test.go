@@ -21,7 +21,7 @@ func seqTable(iters []int64, poss []int64, items []xqt.Item) *Table {
 	t.N = len(iters)
 	t.Col("iter").Int = iters
 	t.Col("pos").Int = poss
-	t.Col("item").Item = items
+	t.Col("item").Item = NewItemVec(items)
 	return t
 }
 
@@ -290,7 +290,7 @@ func TestStepChild(t *testing.T) {
 	ctx := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
 	ctx.N = 2
 	ctx.Col("iter").Int = []int64{1, 2}
-	ctx.Col("item").Item = []xqt.Item{xqt.Node(c.ID, 1), xqt.Node(c.ID, 1)}
+	ctx.Col("item").Item = ItemsOf(xqt.Node(c.ID, 1), xqt.Node(c.ID, 1))
 	st := &Step{unary: unary{In: &Lit{Tab: ctx}}, Axis: scj.Child,
 		Test: scj.Test{Kind: scj.TestElem, Name: "b"}, IterCol: "iter", ItemCol: "item"}
 	ex := NewExec(pool, tr)
@@ -313,7 +313,7 @@ func TestStepRejectsUnsortedInput(t *testing.T) {
 	ctx := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
 	ctx.N = 2
 	ctx.Col("iter").Int = []int64{1, 1}
-	ctx.Col("item").Item = []xqt.Item{xqt.Node(c.ID, 2), xqt.Node(c.ID, 1)}
+	ctx.Col("item").Item = ItemsOf(xqt.Node(c.ID, 2), xqt.Node(c.ID, 1))
 	st := &Step{unary: unary{In: &Lit{Tab: ctx}}, Axis: scj.Child,
 		Test: scj.Test{Kind: scj.TestNode}, IterCol: "iter", ItemCol: "item"}
 	ex := NewExec(pool, nil)

@@ -8,8 +8,12 @@
 //
 // Tables are sets of named, equally long columns. Three column kinds
 // exist: dense integers (iter/pos/inner/outer columns), booleans
-// (predicates), and polymorphic XQuery items (the item columns of the
-// iter|pos|item sequence encoding).
+// (predicates), and XQuery items (the item columns of the iter|pos|item
+// sequence encoding). Item columns are stored as typed vectors — a tag
+// vector plus parallel int64/float64/string/node payload vectors
+// (ItemVec) — so the kernels dispatch on the item kind once per column
+// when the tag is uniform (the overwhelmingly common case after a Step
+// or a cast) instead of once per row.
 //
 // # Concurrency model
 //
@@ -39,16 +43,314 @@ type ColKind uint8
 const (
 	KInt  ColKind = iota // int64 column
 	KBool                // boolean column
-	KItem                // polymorphic XQuery item column
+	KItem                // typed-vector XQuery item column
 )
 
-// Col is a single column. Exactly one of the payload slices is non-nil,
-// determined by Kind.
+// ItemVec is the typed-vector representation of an item column: a tag
+// per row plus parallel payload vectors, one per payload type. For every
+// row the payload vectors its kind uses (mirroring the field rules of
+// xqt.Item) carry the value:
+//
+//	KInt, KBool:       I
+//	KDouble:           F
+//	KString, KUntyped: S
+//	KNode, KAttr:      Cont, I
+//
+// A payload vector is either nil (no row of the column needs it) or has
+// exactly Len() entries, with zero values on the rows of other kinds.
+// When every row shares one kind, Tags is nil and Tag holds that kind —
+// the uniform case the vectorized kernels dispatch on once per column.
+// Like tables, vectors are immutable once their table is produced, so
+// operators may share payload slices with their inputs.
+type ItemVec struct {
+	Tags []xqt.Kind // per-row kinds; nil when the column is uniform
+	Tag  xqt.Kind   // the uniform kind (meaningful when Tags is nil)
+	n    int
+
+	Cont []int32
+	I    []int64
+	F    []float64
+	S    []string
+}
+
+// payloads reports which payload vectors rows of kind k use.
+func payloads(k xqt.Kind) (cont, i, f, s bool) {
+	switch k {
+	case xqt.KInt, xqt.KBool:
+		return false, true, false, false
+	case xqt.KDouble:
+		return false, false, true, false
+	case xqt.KString, xqt.KUntyped:
+		return false, false, false, true
+	default: // KNode, KAttr
+		return true, true, false, false
+	}
+}
+
+// Len returns the number of rows.
+func (v *ItemVec) Len() int { return v.n }
+
+// Uniform returns the column's single kind when all rows share one (an
+// empty vector counts as uniform).
+func (v *ItemVec) Uniform() (xqt.Kind, bool) { return v.Tag, v.Tags == nil }
+
+// KindAt returns the kind of row i.
+func (v *ItemVec) KindAt(i int) xqt.Kind {
+	if v.Tags != nil {
+		return v.Tags[i]
+	}
+	return v.Tag
+}
+
+// At reconstructs row i as an xqt.Item.
+func (v *ItemVec) At(i int) xqt.Item {
+	switch k := v.KindAt(i); k {
+	case xqt.KInt, xqt.KBool:
+		return xqt.Item{K: k, I: v.I[i]}
+	case xqt.KDouble:
+		return xqt.Item{K: k, F: v.F[i]}
+	case xqt.KString, xqt.KUntyped:
+		return xqt.Item{K: k, S: v.S[i]}
+	default:
+		return xqt.Item{K: k, Cont: v.Cont[i], I: v.I[i]}
+	}
+}
+
+// growRows appends count rows of kind k with zero payloads and returns
+// the index of the first new row. The caller fills the payload vectors
+// directly (possibly in parallel chunks — the rows are disjoint).
+func (v *ItemVec) growRows(k xqt.Kind, count int) int {
+	base := v.n
+	if count <= 0 {
+		return base
+	}
+	if v.Tags == nil && v.n > 0 && k != v.Tag {
+		tags := make([]xqt.Kind, v.n, v.n+count)
+		for i := range tags {
+			tags[i] = v.Tag
+		}
+		v.Tags = tags
+	}
+	if v.n == 0 && v.Tags == nil {
+		v.Tag = k
+	}
+	if v.Tags != nil {
+		for j := 0; j < count; j++ {
+			v.Tags = append(v.Tags, k)
+		}
+	}
+	cont, i, f, s := payloads(k)
+	if v.Cont != nil || cont {
+		if v.Cont == nil {
+			v.Cont = make([]int32, v.n, v.n+count)
+		}
+		v.Cont = append(v.Cont, make([]int32, count)...)
+	}
+	if v.I != nil || i {
+		if v.I == nil {
+			v.I = make([]int64, v.n, v.n+count)
+		}
+		v.I = append(v.I, make([]int64, count)...)
+	}
+	if v.F != nil || f {
+		if v.F == nil {
+			v.F = make([]float64, v.n, v.n+count)
+		}
+		v.F = append(v.F, make([]float64, count)...)
+	}
+	if v.S != nil || s {
+		if v.S == nil {
+			v.S = make([]string, v.n, v.n+count)
+		}
+		v.S = append(v.S, make([]string, count)...)
+	}
+	v.n += count
+	return base
+}
+
+// Append appends one item.
+func (v *ItemVec) Append(it xqt.Item) {
+	i := v.growRows(it.K, 1)
+	switch it.K {
+	case xqt.KInt, xqt.KBool:
+		v.I[i] = it.I
+	case xqt.KDouble:
+		v.F[i] = it.F
+	case xqt.KString, xqt.KUntyped:
+		v.S[i] = it.S
+	default:
+		v.Cont[i] = it.Cont
+		v.I[i] = it.I
+	}
+}
+
+// AppendVec appends all rows of o (payload contents are copied, never
+// aliased, so o stays untouched by later appends to v).
+func (v *ItemVec) AppendVec(o *ItemVec) {
+	if o.n == 0 {
+		return
+	}
+	if v.Tags == nil && o.Tags == nil && (v.n == 0 || o.Tag == v.Tag) {
+		// stays uniform
+		if v.n == 0 {
+			v.Tag = o.Tag
+		}
+	} else if v.Tags == nil {
+		tags := make([]xqt.Kind, v.n, v.n+o.n)
+		for i := range tags {
+			tags[i] = v.Tag
+		}
+		v.Tags = tags
+	}
+	if v.Tags != nil {
+		if o.Tags != nil {
+			v.Tags = append(v.Tags, o.Tags...)
+		} else {
+			for j := 0; j < o.n; j++ {
+				v.Tags = append(v.Tags, o.Tag)
+			}
+		}
+	}
+	appendCont := func() {
+		if v.Cont == nil {
+			v.Cont = make([]int32, v.n, v.n+o.n)
+		}
+		if o.Cont != nil {
+			v.Cont = append(v.Cont, o.Cont...)
+		} else {
+			v.Cont = append(v.Cont, make([]int32, o.n)...)
+		}
+	}
+	if v.Cont != nil || o.Cont != nil {
+		appendCont()
+	}
+	if v.I != nil || o.I != nil {
+		if v.I == nil {
+			v.I = make([]int64, v.n, v.n+o.n)
+		}
+		if o.I != nil {
+			v.I = append(v.I, o.I...)
+		} else {
+			v.I = append(v.I, make([]int64, o.n)...)
+		}
+	}
+	if v.F != nil || o.F != nil {
+		if v.F == nil {
+			v.F = make([]float64, v.n, v.n+o.n)
+		}
+		if o.F != nil {
+			v.F = append(v.F, o.F...)
+		} else {
+			v.F = append(v.F, make([]float64, o.n)...)
+		}
+	}
+	if v.S != nil || o.S != nil {
+		if v.S == nil {
+			v.S = make([]string, v.n, v.n+o.n)
+		}
+		if o.S != nil {
+			v.S = append(v.S, o.S...)
+		} else {
+			v.S = append(v.S, make([]string, o.n)...)
+		}
+	}
+	v.n += o.n
+}
+
+// Gather returns a new vector holding rows idx, in order. A mixed tag
+// vector stays mixed even if the gathered rows happen to share a kind
+// (re-detecting uniformity would cost a scan per gather).
+func (v *ItemVec) Gather(idx []int32) ItemVec {
+	out := ItemVec{Tag: v.Tag, n: len(idx)}
+	if v.Tags != nil {
+		out.Tags = make([]xqt.Kind, len(idx))
+		for i, j := range idx {
+			out.Tags[i] = v.Tags[j]
+		}
+	}
+	if v.Cont != nil {
+		out.Cont = make([]int32, len(idx))
+		for i, j := range idx {
+			out.Cont[i] = v.Cont[j]
+		}
+	}
+	if v.I != nil {
+		out.I = make([]int64, len(idx))
+		for i, j := range idx {
+			out.I[i] = v.I[j]
+		}
+	}
+	if v.F != nil {
+		out.F = make([]float64, len(idx))
+		for i, j := range idx {
+			out.F[i] = v.F[j]
+		}
+	}
+	if v.S != nil {
+		out.S = make([]string, len(idx))
+		for i, j := range idx {
+			out.S[i] = v.S[j]
+		}
+	}
+	return out
+}
+
+// Slice materializes the vector as a polymorphic item slice (a
+// compatibility accessor for tests and result extraction; kernels read
+// the payload vectors directly).
+func (v *ItemVec) Slice() []xqt.Item {
+	out := make([]xqt.Item, v.n)
+	for i := range out {
+		out[i] = v.At(i)
+	}
+	return out
+}
+
+// NewItemVec builds a vector from a polymorphic item slice.
+func NewItemVec(items []xqt.Item) ItemVec {
+	v := ItemVec{}
+	for _, it := range items {
+		v.Append(it)
+	}
+	return v
+}
+
+// ItemsOf builds a vector from the given items (test convenience).
+func ItemsOf(items ...xqt.Item) ItemVec { return NewItemVec(items) }
+
+// constItemVec builds a uniform vector holding n copies of it.
+func constItemVec(it xqt.Item, n int) ItemVec {
+	v := ItemVec{}
+	v.growRows(it.K, n)
+	switch it.K {
+	case xqt.KInt, xqt.KBool:
+		for i := range v.I {
+			v.I[i] = it.I
+		}
+	case xqt.KDouble:
+		for i := range v.F {
+			v.F[i] = it.F
+		}
+	case xqt.KString, xqt.KUntyped:
+		for i := range v.S {
+			v.S[i] = it.S
+		}
+	default:
+		for i := range v.Cont {
+			v.Cont[i] = it.Cont
+			v.I[i] = it.I
+		}
+	}
+	return v
+}
+
+// Col is a single column. The payload determined by Kind is meaningful;
+// for KItem the Item vector holds the rows.
 type Col struct {
 	Kind ColKind
 	Int  []int64
 	Bool []bool
-	Item []xqt.Item
+	Item ItemVec
 }
 
 // Len returns the number of rows in the column.
@@ -59,7 +361,7 @@ func (c *Col) Len() int {
 	case KBool:
 		return len(c.Bool)
 	default:
-		return len(c.Item)
+		return c.Item.Len()
 	}
 }
 
@@ -78,10 +380,7 @@ func (c *Col) Gather(idx []int32) Col {
 			out.Bool[i] = c.Bool[j]
 		}
 	default:
-		out.Item = make([]xqt.Item, len(idx))
-		for i, j := range idx {
-			out.Item[i] = c.Item[j]
-		}
+		out.Item = c.Item.Gather(idx)
 	}
 	return out
 }
@@ -155,8 +454,13 @@ func (t *Table) Gather(idx []int32) *Table {
 // Ints returns the int64 payload of an integer column.
 func (t *Table) Ints(name string) []int64 { return t.Col(name).Int }
 
-// Items returns the item payload of an item column.
-func (t *Table) Items(name string) []xqt.Item { return t.Col(name).Item }
+// Items materializes an item column as a polymorphic slice. Hot kernels
+// use ItemVec instead; this accessor serves tests, plan-building around
+// tiny tables and result extraction.
+func (t *Table) Items(name string) []xqt.Item { return t.Col(name).Item.Slice() }
+
+// ItemVec returns the typed-vector payload of an item column.
+func (t *Table) ItemVec(name string) *ItemVec { return &t.Col(name).Item }
 
 // Bools returns the boolean payload of a boolean column.
 func (t *Table) Bools(name string) []bool { return t.Col(name).Bool }
@@ -178,7 +482,7 @@ func (t *Table) String() string {
 			case KBool:
 				fmt.Fprintf(&sb, "%v", c.Bool[r])
 			default:
-				it := c.Item[r]
+				it := c.Item.At(r)
 				switch it.K {
 				case xqt.KNode:
 					fmt.Fprintf(&sb, "node(%d,%d)", it.Cont, it.I)
@@ -221,7 +525,7 @@ func compareRows(t *Table, by []*Col, desc []bool, i, j int32) int {
 				r = 1
 			}
 		default:
-			a, b := c.Item[i], c.Item[j]
+			a, b := c.Item.At(int(i)), c.Item.At(int(j))
 			switch {
 			case xqt.SortLess(a, b):
 				r = -1

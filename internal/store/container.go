@@ -188,6 +188,40 @@ func (c *Container) StringValue(pre int32) string {
 	return string(buf)
 }
 
+// StringValues is the bulk form of StringValue: it computes the string
+// value of every node in pres (given in the executor's int64 column
+// width) into out. The executor's vectorized atomize kernel calls it once
+// per uniform node column instead of boxing one item per row.
+func (c *Container) StringValues(pres []int64, out []string) {
+	for i, p := range pres {
+		out[i] = c.StringValue(int32(p))
+	}
+}
+
+// AttrValues is the bulk form of attribute atomization: it copies the
+// attribute values of the given attribute-table rows into out.
+func (c *Container) AttrValues(rows []int64, out []string) {
+	for i, r := range rows {
+		out[i] = c.AttrVal[r]
+	}
+}
+
+// NamesOf is the bulk form of NameOf: the qualified names of the nodes in
+// pres, written into out (the executor's vectorized fn:name kernel).
+func (c *Container) NamesOf(pres []int64, out []string) {
+	for i, p := range pres {
+		out[i] = c.NameOf(int32(p))
+	}
+}
+
+// AttrNames resolves the qualified names of the given attribute-table
+// rows into out.
+func (c *Container) AttrNames(rows []int64, out []string) {
+	for i, r := range rows {
+		out[i] = c.Names.Name(c.AttrName[r])
+	}
+}
+
 // Post returns the postorder rank of node pre, recovered from the
 // pre/size/level encoding as post = pre + size - level (paper §2).
 func (c *Container) Post(pre int32) int32 {

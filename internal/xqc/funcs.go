@@ -148,7 +148,7 @@ func (c *Compiler) compileUnaryFn(x *xqp.Call, sc *scope) (ralg.Plan, error) {
 	case "string", "number", "name", "local-name", "floor", "ceiling", "round", "string-length":
 		fn := map[string]ralg.FunOp{
 			"string": ralg.FunStringOf, "number": ralg.FunNumber,
-			"name": ralg.FunNameOf, "local-name": ralg.FunNameOf,
+			"name": ralg.FunNameOf, "local-name": ralg.FunLocalName,
 			"floor": ralg.FunFloor, "ceiling": ralg.FunCeil,
 			"round": ralg.FunRound, "string-length": ralg.FunStrLen,
 		}[x.Name]

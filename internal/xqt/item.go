@@ -50,9 +50,9 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// Item is a single XQuery item. The polymorphic "item" columns of the
-// relational sequence encoding hold values of this type. Which fields are
-// meaningful depends on K:
+// Item is a single XQuery item. The item columns of the relational
+// sequence encoding hold values of this type (stored as typed vectors,
+// see ralg.ItemVec). Which fields are meaningful depends on K:
 //
 //	KInt:     I
 //	KDouble:  F
@@ -61,6 +61,11 @@ func (k Kind) String() string {
 //	KBool:    I (0 or 1)
 //	KNode:    Cont (container id), I (preorder rank)
 //	KAttr:    Cont (container id), I (attribute table row)
+//
+// The engine relies on the fields *not* listed for a kind being zero:
+// items round-trip through per-kind payload vectors that store only the
+// listed fields, and item equality is struct equality. Always build
+// items through the constructors below.
 type Item struct {
 	K    Kind
 	Cont int32
@@ -125,13 +130,19 @@ func (it Item) AsDouble() float64 {
 	case KBool:
 		return float64(it.I)
 	case KString, KUntyped:
-		f, err := strconv.ParseFloat(strings.TrimSpace(it.S), 64)
-		if err != nil {
-			return math.NaN()
-		}
-		return f
+		return ParseDouble(it.S)
 	}
 	return math.NaN()
+}
+
+// ParseDouble casts a string to xs:double per the item casting rules:
+// surrounding whitespace is ignored and unparsable input yields NaN.
+func ParseDouble(s string) float64 {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return f
 }
 
 // AsString converts an atomic item to its string representation (xs:string
@@ -154,12 +165,41 @@ func (it Item) AsString() string {
 }
 
 // FormatDouble renders a float the way XQuery serializes xs:double values
-// that have no exponent: integral values print without a decimal point.
+// that have no exponent: integral values print without a decimal point,
+// and the special values serialize as INF, -INF and NaN (XPath spec
+// casting of xs:double to xs:string, not Go's +Inf/-Inf spellings).
 func FormatDouble(f float64) string {
-	if f == math.Trunc(f) && math.Abs(f) < 1e15 && !math.Signbit(f) || (f == math.Trunc(f) && math.Abs(f) < 1e15) {
+	switch {
+	case math.IsInf(f, 1):
+		return "INF"
+	case math.IsInf(f, -1):
+		return "-INF"
+	case math.IsNaN(f):
+		return "NaN"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
 		return strconv.FormatInt(int64(f), 10)
 	}
 	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Round implements fn:round's half-toward-positive-infinity rule:
+// round(2.5) is 3 but round(-2.5) is -2 (unlike Go's math.Round, which
+// rounds halves away from zero). NaN and the infinities pass through.
+func Round(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return f
+	}
+	return math.Floor(f + 0.5)
+}
+
+// LocalName returns the local part of a qualified name: everything after
+// the last colon (fn:local-name over our prefix:local name encoding).
+func LocalName(qname string) string {
+	if i := strings.LastIndexByte(qname, ':'); i >= 0 {
+		return qname[i+1:]
+	}
+	return qname
 }
 
 // CmpOp identifies a comparison operator.
@@ -238,6 +278,18 @@ func Compare(a, b Item, op CmpOp) bool {
 	// string / untyped territory
 	return cmpStr(a.AsString(), b.AsString(), op)
 }
+
+// CompareInt applies op to two xs:integer (or xs:boolean) payloads; the
+// typed-vector kernels use it to compare whole columns without boxing.
+func CompareInt(a, b int64, op CmpOp) bool { return cmpInt(a, b, op) }
+
+// CompareFloat applies op to two xs:double values with IEEE NaN
+// semantics (NaN compares false under every operator, including ne when
+// the other side is NaN too — matching Compare on items).
+func CompareFloat(a, b float64, op CmpOp) bool { return cmpFloat(a, b, op) }
+
+// CompareString applies op to two strings (codepoint collation).
+func CompareString(a, b string, op CmpOp) bool { return cmpStr(a, b, op) }
 
 func boolAsInt(a Item) int64 {
 	// effective boolean cast of a non-boolean compared against a boolean:
@@ -351,11 +403,19 @@ const (
 
 // EmptyLeast is the sort key used for "order by" keys over empty sequences
 // (XQuery's default "empty least" behaviour). It sorts before every other
-// item.
-var EmptyLeast = Item{K: KUntyped, I: math.MinInt64, S: "\x00emptyleast"}
+// item. It is recognized by its sentinel string payload (which cannot
+// occur in parsed XML: NUL is not an XML character), so it survives the
+// typed-vector column representation, which stores only the S payload for
+// untyped items.
+var EmptyLeast = Item{K: KUntyped, S: "\x00emptyleast"}
+
+// IsEmptyLeast reports whether the item is the EmptyLeast sort sentinel.
+func IsEmptyLeast(a Item) bool {
+	return a.K == KUntyped && a.S == EmptyLeast.S
+}
 
 func sortRank(a Item) int {
-	if a == EmptyLeast {
+	if IsEmptyLeast(a) {
 		return rankEmpty
 	}
 	switch a.K {

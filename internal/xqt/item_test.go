@@ -145,6 +145,55 @@ func TestSortLessStrictWeakOrder(t *testing.T) {
 	}
 }
 
+func TestFormatDoubleSpecials(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.Inf(1), "INF"},
+		{math.Inf(-1), "-INF"},
+		{math.NaN(), "NaN"},
+		{3, "3"},
+		{-3, "-3"},
+		{2.5, "2.5"},
+		{0, "0"},
+		{1e16, "1e+16"},
+	}
+	for _, c := range cases {
+		if got := FormatDouble(c.in); got != c.want {
+			t.Errorf("FormatDouble(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundHalfTowardPositiveInfinity(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{2.5, 3}, {-2.5, -2}, {2.4, 2}, {-2.6, -3}, {0.5, 1}, {-0.5, 0}, {7, 7},
+	}
+	for _, c := range cases {
+		if got := Round(c.in); got != c.want {
+			t.Errorf("Round(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Round(math.NaN())) {
+		t.Error("Round(NaN) must be NaN")
+	}
+	if !math.IsInf(Round(math.Inf(1)), 1) || !math.IsInf(Round(math.Inf(-1)), -1) {
+		t.Error("Round must pass infinities through")
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a", "a"}, {"ns:a", "a"}, {"urn:x:child", "child"}, {"", ""},
+	}
+	for _, c := range cases {
+		if got := LocalName(c.in); got != c.want {
+			t.Errorf("LocalName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
 func TestEmptyLeastSortsFirst(t *testing.T) {
 	others := []Item{Int(-1 << 60), Double(math.Inf(-1)), Str(""), Bool(false), Node(0, 0)}
 	for _, o := range others {

@@ -1,0 +1,134 @@
+package mxq_test
+
+import (
+	"strings"
+	"testing"
+
+	"mxq"
+	"mxq/internal/naive"
+)
+
+// The spec-conformance suite checks XPath/XQuery function semantics
+// against expected values hard-coded from the spec — deliberately NOT
+// differentially: the relational engine and the naive DOM interpreter
+// historically shared identical spec bugs (round half-away-from-zero,
+// byte-counted string-length, Go-spelled infinities), which a
+// differential oracle is structurally blind to. Every case runs against
+// both engines independently.
+
+const specDoc = `<root><a><ns:child xmlns:ns="urn:x">h&#233;llo</ns:child></a><b><plain>text</plain></b></root>`
+
+// specCases hold (query, expected serialization). Expected values come
+// from the XPath 2.0 / XQuery 1.0 function specs, not from either
+// engine.
+var specCases = []struct {
+	name  string
+	query string
+	want  string
+}{
+	// fn:round — halves round toward positive infinity (XPath F&O 6.4.4:
+	// round(-2.5) is -2, NOT -3).
+	{"round-positive-half", `round(2.5)`, "3"},
+	{"round-negative-half", `round(-2.5)`, "-2"},
+	{"round-negative-below-half", `round(-2.51)`, "-3"},
+	{"round-negative-above-half", `round(-2.4999)`, "-2"},
+	{"round-positive", `round(7.2)`, "7"},
+	{"round-integer", `round(5)`, "5"},
+	{"round-negative-int-half", `round(-7.5)`, "-7"},
+
+	// fn:floor / fn:ceiling (F&O 6.4.1, 6.4.2).
+	{"floor-negative", `floor(-1.5)`, "-2"},
+	{"floor-positive", `floor(1.5)`, "1"},
+	{"ceiling-negative", `ceiling(-1.5)`, "-1"},
+	{"ceiling-positive", `ceiling(1.5)`, "2"},
+
+	// fn:string-length counts characters, not bytes (F&O 7.4.4):
+	// "héllo" is 5 characters (6 UTF-8 bytes).
+	{"string-length-ascii", `string-length("abcd")`, "4"},
+	{"string-length-multibyte", `string-length("héllo")`, "5"},
+	{"string-length-empty", `string-length("")`, "0"},
+	{"string-length-node", `string-length(string(/root/a/*))`, "5"},
+
+	// xs:double serialization of the special values (XPath casting to
+	// xs:string): INF / -INF / NaN, not Go's +Inf spellings.
+	{"serialize-inf", `string(2 div 0)`, "INF"},
+	{"serialize-neg-inf", `string(-2 div 0)`, "-INF"},
+	{"serialize-nan", `string(0 div 0)`, "NaN"},
+	{"serialize-inf-value", `2 div 0`, "INF"},
+	{"integral-double", `string(3.0)`, "3"},
+	{"fractional-double", `string(2.5)`, "2.5"},
+
+	// fn:local-name strips the namespace prefix (F&O 2.2); fn:name keeps
+	// the qualified form.
+	{"local-name-prefixed", `local-name(/root/a/*)`, "child"},
+	{"local-name-plain", `local-name(/root/b/*)`, "plain"},
+	{"local-name-empty", `local-name(())`, ""},
+
+	// fn:distinct-values (F&O 15.1.6): numeric values compare across
+	// numeric types (1 eq 1.0), while values no eq operator relates —
+	// integer vs boolean, number vs string — stay distinct.
+	{"distinct-int-double", `distinct-values((1, 1.0))`, "1"},
+	{"distinct-int-bool", `distinct-values((1, true()))`, "1 true"},
+	{"distinct-num-string", `distinct-values((1, "1"))`, "1 1"},
+	{"distinct-strings", `distinct-values(("a", "b", "a"))`, "a b"},
+	{"distinct-order", `distinct-values((2, 1, 2.0, 1.0, 3))`, "2 1 3"},
+
+	// arithmetic promotion sanity around the special values
+	{"nan-never-equal", `(0 div 0) = (0 div 0)`, "false"},
+	{"inf-compares", `(1 div 0) > 1e300`, "true"},
+}
+
+func TestSpecConformanceRelational(t *testing.T) {
+	db := mxq.Open()
+	if err := db.LoadDocumentString("spec.xml", specDoc); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range specCases {
+		got, err := db.QueryString(c.query)
+		if err != nil {
+			t.Errorf("%s: %s: %v", c.name, c.query, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: %s = %q, want %q", c.name, c.query, got, c.want)
+		}
+	}
+}
+
+// TestSpecConformanceRelationalParallel runs the same suite through the
+// parallel executor (forced workers, threshold 1) — the typed-vector
+// kernels must produce spec-conformant output on the chunked paths too.
+func TestSpecConformanceRelationalParallel(t *testing.T) {
+	db := mxq.Open(mxq.WithWorkers(4))
+	db.Engine() // ensure construction
+	if err := db.LoadDocumentString("spec.xml", specDoc); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range specCases {
+		got, err := db.QueryString(c.query)
+		if err != nil {
+			t.Errorf("%s: %s: %v", c.name, c.query, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: %s = %q, want %q", c.name, c.query, got, c.want)
+		}
+	}
+}
+
+func TestSpecConformanceNaive(t *testing.T) {
+	for _, c := range specCases {
+		in := naive.New()
+		if err := in.LoadXML("spec.xml", strings.NewReader(specDoc)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := in.QueryString(c.query)
+		if err != nil {
+			t.Errorf("%s: %s: %v", c.name, c.query, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: %s = %q, want %q", c.name, c.query, got, c.want)
+		}
+	}
+}
