@@ -1,10 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check check-ci fmt vet build test race race-cover bench fuzz-short cover
 
 # check is the CI gate: formatting, vet, build, and the full test suite
 # under the race detector (the parallel executor must stay race-clean).
 check: fmt vet build race
+
+# check-ci is check with the race run also producing the coverage profile
+# (one suite execution on CI instead of separate race and cover passes).
+check-ci: fmt vet build race-cover
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -24,5 +28,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+race-cover:
+	$(GO) test -race -coverprofile=coverage.out -coverpkg=./... ./...
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# fuzz-short runs the seeded differential query generator (relational
+# serial + parallel vs the naive oracle, ~30s budget). MXQ_FUZZ_SEED
+# defaults to a seed distinct from the in-suite run, so this is a fresh
+# 500-query stream, not a replay; override it to reproduce a failure.
+MXQ_FUZZ_SEED ?= 424242
+fuzz-short:
+	MXQ_FUZZ_SEED=$(MXQ_FUZZ_SEED) $(GO) test -run 'TestDifferentialFuzz' -count=1 -v .
+
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	$(GO) tool cover -func=coverage.out | tail -1

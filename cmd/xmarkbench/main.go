@@ -12,6 +12,7 @@
 //	xmarkbench -experiment plans    # §4.1 plan statistics (ops/joins)
 //	xmarkbench -experiment updates  # §5.2 paged updates vs full rebuild
 //	xmarkbench -experiment parallel # serial vs parallel execution + multi-client throughput
+//	xmarkbench -experiment collection # sharded multi-document collection() scaling (-collection N docs)
 //	xmarkbench -experiment all
 //
 // The -parallel flag switches every experiment's MXQ engine to parallel
@@ -52,6 +53,8 @@ var (
 	parallelFlag = flag.Bool("parallel", false, "run MXQ engines with intra-query parallel execution")
 	workersFlag  = flag.Int("workers", 0, "parallel worker goroutines (0 = GOMAXPROCS)")
 	clientsFlag  = flag.Int("clients", 4, "concurrent clients in the parallel experiment's throughput section")
+
+	collectionFlag = flag.Int("collection", 8, "documents in the collection experiment's sharded corpus")
 )
 
 func main() {
@@ -72,6 +75,7 @@ func main() {
 	run("plans", plans)
 	run("updates", updates)
 	run("parallel", parallel)
+	run("collection", collection)
 }
 
 func parseScales(s string) []float64 {
@@ -217,6 +221,63 @@ func parallel(scales []float64) {
 		}
 		fmt.Printf("%-14s %8.1f queries/s\n", mode.label, qps)
 	}
+}
+
+// collection measures sharded multi-document stores: N XMark documents
+// are generated into a collection with one shard per document, and
+// collection()-rooted queries run serial versus parallel — the parallel
+// executor distributes the per-shard staircase joins across the worker
+// pool, so the speedup axis here is shards, not intra-document ranges.
+func collection(scales []float64) {
+	ndocs := *collectionFlag
+	if ndocs < 1 {
+		ndocs = 8
+	}
+	workers := *workersFlag
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	f := scales[len(scales)-1]
+	fmt.Printf("\n== Sharded collection: %d x %s documents, %d shards, %d workers (GOMAXPROCS=%d) ==\n",
+		ndocs, mb(f), ndocs, workers, runtime.GOMAXPROCS(0))
+	// a ShardedPool belongs to one engine; generation is deterministic,
+	// so each engine gets its own identical corpus
+	spSerial, _ := xmark.BuildShardedCollection("xmark", ndocs, ndocs, f, *seedFlag)
+	spPar, _ := xmark.BuildShardedCollection("xmark", ndocs, ndocs, f, *seedFlag)
+	serialEng := core.New(core.DefaultConfig())
+	serialEng.RegisterCollection(spSerial)
+	parCfg := core.ParallelConfig()
+	parCfg.Workers = workers
+	parEng := core.New(parCfg)
+	parEng.RegisterCollection(spPar)
+
+	queries := []struct{ label, q string }{
+		{"count-person", `count(collection("xmark")/site/people/person)`},
+		{"desc-item", `count(collection("xmark")//item)`},
+		{"names", `for $p in collection("xmark")/site/people/person where $p/@id = "person0" return $p/name/text()`},
+		{"sum-per-doc", `sum(for $d in collection("xmark") return count($d/site/regions//item))`},
+		{"closed-auct", `count(collection("xmark")/site/closed_auctions/closed_auction[price > 40])`},
+	}
+	fmt.Printf("%-12s %12s %12s %8s\n", "query", "serial", "parallel", "speedup")
+	var sumS, sumP time.Duration
+	allOK := true
+	for _, qc := range queries {
+		ds, okS := bestOf(func() error { _, err := serialEng.Query(qc.q); return err })
+		dp, okP := bestOf(func() error { _, err := parEng.Query(qc.q); return err })
+		allOK = allOK && okS && okP
+		sumS += ds
+		sumP += dp
+		ratio := "-"
+		if okS && okP && dp > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(ds)/float64(dp))
+		}
+		fmt.Printf("%-12s %12s %12s %8s\n", qc.label, fmtTime(ds, okS), fmtTime(dp, okP), ratio)
+	}
+	sumRatio := "-"
+	if allOK && sumP > 0 {
+		sumRatio = fmt.Sprintf("%.2fx", float64(sumS)/float64(sumP))
+	}
+	fmt.Printf("%-12s %12s %12s %8s\n", "sum", fmtTime(sumS, allOK), fmtTime(sumP, allOK), sumRatio)
 }
 
 // table1 reproduces Table 1: elapsed seconds for Q1–Q20 over growing

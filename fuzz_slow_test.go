@@ -1,0 +1,24 @@
+//go:build slow
+
+package mxq_test
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDifferentialFuzzLong is the extended fuzz run behind `-tags slow`:
+// a larger corpus (bigger documents, more collection documents and
+// shards) and an order of magnitude more queries across several seeds.
+func TestDifferentialFuzzLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz run skipped in -short mode")
+	}
+	w := buildFuzzWorld(t, 0.003, 12, 4)
+	for _, seed := range []int64{1, 7, 42, 20260729, 987654321} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runDifferentialFuzz(t, w, seed, 1500)
+		})
+	}
+}

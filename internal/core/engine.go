@@ -154,6 +154,99 @@ func (e *Engine) LoadContainer(name string, c *store.Container) {
 	e.mu.Unlock()
 }
 
+// CollectionDoc names one document of a collection corpus and the reader
+// supplying its XML text.
+type CollectionDoc struct {
+	Name string
+	R    io.Reader
+}
+
+// LoadCollection shreds the given documents into a sharded collection
+// registered under name: the corpus is partitioned across `shards`
+// containers by a hash of each document name, and the shard containers
+// are built concurrently (loading parallelizes across shards). The
+// collection is reachable via collection(name); its documents are not
+// individually addressable via doc(). Like document loads, registering a
+// collection is safe while queries run.
+func (e *Engine) LoadCollection(name string, shards int, docs []CollectionDoc) error {
+	names := make([]string, len(docs))
+	readers := make(map[string]io.Reader, len(docs))
+	for i, d := range docs {
+		names[i] = d.Name
+		readers[d.Name] = d.R
+	}
+	sp, err := store.BuildSharded(name, shards, names, func(d string, b *store.Builder) error {
+		return store.ShredInto(b, d, readers[d], false)
+	})
+	if err != nil {
+		return err
+	}
+	e.RegisterCollection(sp)
+	return nil
+}
+
+// RegisterCollection registers a pre-built sharded collection (used by
+// the XMark generator path, which emits builder events directly). The
+// element-name indexes are built before the registry lock is taken.
+func (e *Engine) RegisterCollection(sp *store.ShardedPool) {
+	sp.BuildIndexes()
+	e.mu.Lock()
+	e.pool.RegisterCollection(sp)
+	e.mu.Unlock()
+}
+
+// AddToCollection shreds one more document into an existing collection.
+// The affected shard is updated copy-on-write: in-flight queries keep
+// seeing the collection state their snapshot captured, exactly as
+// document loads behave. The updated shard re-registers under a fresh
+// container id, which moves its documents to the end of the collection's
+// document order. Each add costs O(shard) time and — because container
+// ids pin superseded shard versions for snapshot validity — O(shard)
+// pool memory that is not reclaimed; grow large corpora with
+// LoadCollection bulk loads and reserve AddToCollection for occasional
+// incremental documents.
+func (e *Engine) AddToCollection(coll, doc string, r io.Reader) error {
+	// The shard copy and the XML shred run outside the engine lock so
+	// concurrent queries are never stalled behind a parse (LoadXML makes
+	// the same choice). Registration re-checks the collection under the
+	// write lock; losing a race against another writer means redoing the
+	// copy-on-write build against the winner's version — the reader r is
+	// consumed, so retrying the shred itself is not possible, and a
+	// concurrent add of the SAME shard changes the base we must copy.
+	e.mu.RLock()
+	sp, ok := e.pool.Collection(coll)
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("core: collection %q not loaded", coll)
+	}
+	nsp, err := sp.WithDoc(doc, func(b *store.Builder) error {
+		return store.ShredInto(b, doc, r, false)
+	})
+	if err != nil {
+		return err
+	}
+	nsp.BuildIndexes() // index the fresh shard copy outside the lock too
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, _ := e.pool.Collection(coll); cur != sp {
+		return fmt.Errorf("core: collection %q changed concurrently while adding %q; retry the add", coll, doc)
+	}
+	e.pool.RegisterCollection(nsp)
+	return nil
+}
+
+// CollectionDocs returns the document names of a registered collection in
+// collection document order (the order collection() enumerates them).
+func (e *Engine) CollectionDocs(name string) ([]string, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sp, ok := e.pool.Collection(name)
+	if !ok {
+		return nil, false
+	}
+	return sp.DocNames(), true
+}
+
 // SetContextDocument selects the document absolute paths refer to.
 func (e *Engine) SetContextDocument(name string) {
 	e.mu.Lock()

@@ -14,16 +14,20 @@ import (
 
 // Interp is a naive XQuery interpreter instance holding loaded documents.
 type Interp struct {
-	docs       map[string]*Node
-	defaultDoc string
-	ord        int64
-	funcs      map[string]*xqp.FuncDecl
-	depth      int
+	docs        map[string]*Node
+	collections map[string][]*Node
+	defaultDoc  string
+	ord         int64
+	funcs       map[string]*xqp.FuncDecl
+	depth       int
 }
 
 // New returns an empty interpreter.
 func New() *Interp {
-	return &Interp{docs: make(map[string]*Node)}
+	return &Interp{
+		docs:        make(map[string]*Node),
+		collections: make(map[string][]*Node),
+	}
 }
 
 // LoadXML parses and registers a document. The first loaded document
@@ -57,6 +61,26 @@ func (in *Interp) LoadDOM(name string, root *Node) {
 
 // OrdCounter exposes the document-order counter for external builders.
 func (in *Interp) OrdCounter() *int64 { return &in.ord }
+
+// AddCollectionDOM appends an already built document root to the named
+// collection (creating it if needed). collection() enumerates documents
+// in insertion order, so callers mirroring a relational ShardedPool must
+// insert in that pool's DocNames() order. Collection documents are not
+// addressable via doc(), matching the relational engine.
+func (in *Interp) AddCollectionDOM(coll string, root *Node) {
+	in.collections[coll] = append(in.collections[coll], root)
+}
+
+// AddCollectionXML parses a document and appends it to the named
+// collection.
+func (in *Interp) AddCollectionXML(coll, docName string, r io.Reader) error {
+	c, err := store.Shred(docName, r, false)
+	if err != nil {
+		return err
+	}
+	in.AddCollectionDOM(coll, FromContainer(c, &in.ord))
+	return nil
+}
 
 // Query parses and evaluates a query, returning the result sequence.
 func (in *Interp) Query(q string) ([]Val, error) {

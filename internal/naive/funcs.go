@@ -212,6 +212,12 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 		}
 		return []Val{atomVal(xqt.Str(qn))}, nil
 	case "doc":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("xquery error XPST0017: doc expects 1 argument")
+		}
+		if len(args[0]) > 1 {
+			return nil, fmt.Errorf("xquery error XPTY0004: doc() argument is a sequence of %d items", len(args[0]))
+		}
 		it, ok := single(args, 0)
 		if !ok {
 			return nil, nil
@@ -221,6 +227,26 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 			return nil, fmt.Errorf("xquery error FODC0002: document %q not loaded", it.AsString())
 		}
 		return []Val{{Node: root}}, nil
+	case "collection":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("xquery error XPST0017: collection expects 1 argument")
+		}
+		if len(args[0]) > 1 {
+			return nil, fmt.Errorf("xquery error XPTY0004: collection() argument is a sequence of %d items", len(args[0]))
+		}
+		it, ok := single(args, 0)
+		if !ok {
+			return nil, nil
+		}
+		roots, ok := in.collections[it.AsString()]
+		if !ok {
+			return nil, fmt.Errorf("xquery error FODC0004: collection %q not available", it.AsString())
+		}
+		out := make([]Val, len(roots))
+		for i, r := range roots {
+			out[i] = Val{Node: r}
+		}
+		return out, nil
 	case "last":
 		if env.ctxItem == nil {
 			return nil, fmt.Errorf("xquery error XPDY0002: last() outside a predicate")

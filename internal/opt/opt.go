@@ -227,6 +227,13 @@ func (o *optimizer) infer(p ralg.Plan) *props {
 		pr.cnst["pos"] = true
 		pr.cnst["item"] = true
 		pr.ords = append(pr.ords, []string{"pos"})
+	case *ralg.CollectionRoot:
+		// pos is the dense 1..N document ordinal; items are the distinct
+		// document roots in (container, pre) — i.e. sorted — order
+		pr.key["pos"] = true
+		pr.dense["pos"] = true
+		pr.key["item"] = true
+		pr.ords = append(pr.ords, []string{"pos"}, []string{"item"})
 	case *ralg.Project:
 		in := o.in(n, 0)
 		m := refMulti(n.Cols)

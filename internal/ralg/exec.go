@@ -85,6 +85,10 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 		return n.Tab, nil
 	case *DocRoot:
 		return e.execDocRoot(n)
+	case *CollectionRoot:
+		return e.execCollectionRoot(n)
+	case *Fail:
+		return nil, fmt.Errorf("%s", n.Msg)
 	case *Project:
 		return execProject(n, in[0])
 	case *Attach:
@@ -200,12 +204,32 @@ func execCoverCheck(n *CoverCheck, loop, in *Table) (*Table, error) {
 func (e *Exec) execDocRoot(n *DocRoot) (*Table, error) {
 	c, ok := e.Pool.ByName(n.Doc)
 	if !ok {
-		return nil, fmt.Errorf("ralg: document %q not loaded", n.Doc)
+		return nil, fmt.Errorf("xquery error FODC0002: document %q not loaded", n.Doc)
 	}
 	t := NewTable([]string{"pos", "item"}, []ColKind{KInt, KItem})
 	t.N = 1
 	t.Col("pos").Int = []int64{1}
 	t.Col("item").Item = ItemsOf(xqt.Node(c.ID, 0))
+	return t, nil
+}
+
+func (e *Exec) execCollectionRoot(n *CollectionRoot) (*Table, error) {
+	sp, ok := e.Pool.Collection(n.Coll)
+	if !ok {
+		return nil, fmt.Errorf("xquery error FODC0004: collection %q not available", n.Coll)
+	}
+	conts, pres := sp.Roots()
+	t := NewTable([]string{"pos", "item"}, []ColKind{KInt, KItem})
+	t.N = len(conts)
+	pc := t.Col("pos")
+	pc.Int = make([]int64, len(conts))
+	tc := t.Col("item")
+	tc.Item.growRows(xqt.KNode, len(conts))
+	for i := range conts {
+		pc.Int[i] = int64(i) + 1
+		tc.Item.Cont[i] = conts[i]
+		tc.Item.I[i] = int64(pres[i])
+	}
 	return t, nil
 }
 
@@ -789,32 +813,31 @@ func stepInputSorted(items *ItemVec, iters []int64) bool {
 	return true
 }
 
-func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
-	iters := in.Ints(n.IterCol)
-	items := in.ItemVec(n.ItemCol)
-	if !stepInputSorted(items, iters) {
-		return nil, fmt.Errorf("ralg: step(%v) input not sorted on (item, iter): plan misses a sort", n.Axis)
-	}
-	out := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
-	// group context nodes by container; containers appear in ascending
-	// id order because the input is document-order sorted
+// stepSeg is one contiguous segment of a Step input: either a run of
+// node-context rows [lo, hi) all living in container cont, or a single
+// attribute row (attrRow = true; only the parent axis resolves those).
+type stepSeg struct {
+	cont    int32
+	lo, hi  int
+	attrRow bool
+}
+
+// stepSegments cuts the (item, iter)-sorted Step input into per-container
+// context runs. With a sharded collection each shard is one segment, so
+// the segments are the unit of cross-shard parallelism.
+func stepSegments(items *ItemVec, axis scj.Axis) []stepSeg {
 	uniformNodes := false
 	if k, ok := items.Uniform(); ok && k == xqt.KNode {
 		uniformNodes = true
 	}
+	var segs []stepSeg
 	i := 0
 	for i < items.Len() {
 		if items.KindAt(i) != xqt.KNode {
 			// attribute nodes have no children etc.; only the parent
 			// axis resolves to their owner
-			if items.KindAt(i) == xqt.KAttr && n.Axis == scj.Parent {
-				c := e.Pool.Get(items.Cont[i])
-				owner := c.AttrOwner[items.I[i]]
-				match := scj.CompileTest(c, n.Test)
-				if match(owner) {
-					out.Col("iter").Int = append(out.Col("iter").Int, iters[i])
-					out.Col("item").Item.Append(xqt.Node(c.ID, owner))
-				}
+			if items.KindAt(i) == xqt.KAttr && axis == scj.Parent {
+				segs = append(segs, stepSeg{cont: items.Cont[i], lo: i, hi: i + 1, attrRow: true})
 			}
 			i++
 			continue
@@ -830,31 +853,104 @@ func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
 				j++
 			}
 		}
-		// the context relation is emitted as columns straight off the
-		// typed payload vectors
-		ctx := scj.FromColumns(items.I, iters, i, j)
-		c := e.Pool.Get(cont)
-		var res scj.Pairs
-		if e.Par.Workers > 1 {
-			res = scj.ParallelStep(c, ctx, n.Axis, n.Test, n.Variant, e.Par.Workers, e.Par.Threshold, &e.Stats.Step)
-		} else {
-			res = scj.Step(c, ctx, n.Axis, n.Test, n.Variant, &e.Stats.Step)
-		}
-		ic := out.Col("iter")
-		tc := out.Col("item")
-		ibase := ic.Len()
-		ic.Int = append(ic.Int, make([]int64, res.Len())...)
-		base := tc.Item.growRows(xqt.KNode, res.Len())
-		e.parFill(res.Len(), func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				ic.Int[ibase+k] = int64(res.Iter[k])
-				tc.Item.Cont[base+k] = cont
-				tc.Item.I[base+k] = int64(res.Pre[k])
-			}
-		})
+		segs = append(segs, stepSeg{cont: cont, lo: i, hi: j})
 		i = j
 	}
-	out.N = out.Col("iter").Len()
+	return segs
+}
+
+// stepSegRun evaluates one segment with a worker budget: budget <= 1
+// runs the serial step algorithm, larger budgets hand the segment to
+// ParallelStep (which still falls back to serial below the threshold).
+func (e *Exec) stepSegRun(n *Step, iters []int64, items *ItemVec, s stepSeg, budget int, st *scj.Stats) scj.Pairs {
+	if s.attrRow {
+		var out scj.Pairs
+		c := e.Pool.Get(s.cont)
+		owner := c.AttrOwner[items.I[s.lo]]
+		if scj.CompileTest(c, n.Test)(owner) {
+			out.Pre = []int32{owner}
+			out.Iter = []int32{int32(iters[s.lo])}
+		}
+		return out
+	}
+	// the context relation is emitted as columns straight off the typed
+	// payload vectors
+	ctx := scj.FromColumns(items.I, iters, s.lo, s.hi)
+	c := e.Pool.Get(s.cont)
+	if budget > 1 {
+		return scj.ParallelStep(c, ctx, n.Axis, n.Test, n.Variant, budget, e.Par.Threshold, st)
+	}
+	return scj.Step(c, ctx, n.Axis, n.Test, n.Variant, st)
+}
+
+func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
+	iters := in.Ints(n.IterCol)
+	items := in.ItemVec(n.ItemCol)
+	if !stepInputSorted(items, iters) {
+		return nil, fmt.Errorf("ralg: step(%v) input not sorted on (item, iter): plan misses a sort", n.Axis)
+	}
+	segs := stepSegments(items, n.Axis)
+	results := make([]scj.Pairs, len(segs))
+	if e.Par.Workers > 1 && len(segs) > 1 {
+		// cross-shard parallelism: each container run is one task on the
+		// worker pool, and the worker budget is split across segments in
+		// proportion to their containers' sizes, so a dominant segment
+		// (one huge document next to small shards) keeps its
+		// intra-container range/context partitioning. Context rows are
+		// not the weight because one root row can cover a whole document.
+		// Per-segment stats are summed afterwards; concatenating segment
+		// outputs in segment order reproduces the serial emission order
+		// exactly.
+		weights := make([]int64, len(segs))
+		var total int64
+		for k, s := range segs {
+			w := int64(1)
+			if !s.attrRow {
+				if l := int64(e.Pool.Get(s.cont).Len()); l > 1 {
+					w = l
+				}
+			}
+			weights[k] = w
+			total += w
+		}
+		stats := make([]scj.Stats, len(segs))
+		e.Par.parRun(len(segs), func(k int) {
+			budget := int(int64(e.Par.Workers) * weights[k] / total)
+			results[k] = e.stepSegRun(n, iters, items, segs[k], budget, &stats[k])
+		})
+		for k := range stats {
+			e.Stats.Step.Touched += stats[k].Touched
+			e.Stats.Step.Emitted += stats[k].Emitted
+			e.Stats.Step.Pruned += stats[k].Pruned
+		}
+	} else {
+		for k, s := range segs {
+			results[k] = e.stepSegRun(n, iters, items, s, e.Par.Workers, &e.Stats.Step)
+		}
+	}
+	out := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
+	total := 0
+	for _, r := range results {
+		total += r.Len()
+	}
+	ic := out.Col("iter")
+	tc := out.Col("item")
+	ic.Int = make([]int64, total)
+	tc.Item.growRows(xqt.KNode, total)
+	base := 0
+	for k, res := range results {
+		cont := segs[k].cont
+		b := base
+		e.parFill(res.Len(), func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				ic.Int[b+r] = int64(res.Iter[r])
+				tc.Item.Cont[b+r] = cont
+				tc.Item.I[b+r] = int64(res.Pre[r])
+			}
+		})
+		base += res.Len()
+	}
+	out.N = total
 	return out, nil
 }
 

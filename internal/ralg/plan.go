@@ -90,6 +90,31 @@ type DocRoot struct {
 // Name implements Plan.
 func (*DocRoot) Name() string { return "docroot" }
 
+// CollectionRoot produces the (pos, item) table of a sharded collection's
+// document root nodes, in collection document order: one row per
+// document, pos = 1..N, items ordered by (shard container id, pre). Each
+// shard contributes a contiguous run of context rows, which downstream
+// Step operators evaluate per shard under the worker pool.
+type CollectionRoot struct {
+	nullary
+	Coll string
+}
+
+// Name implements Plan.
+func (*CollectionRoot) Name() string { return "collroot" }
+
+// Fail raises a dynamic XQuery error when executed. The compiler plants
+// it for expressions whose static form is known to be unsupported — e.g.
+// a doc() argument that is not constant-foldable — turning what was a
+// compile-time rejection into the runtime error the spec prescribes.
+type Fail struct {
+	nullary
+	Msg string
+}
+
+// Name implements Plan.
+func (*Fail) Name() string { return "fail" }
+
 // Project returns the listed columns, renamed per the refs.
 type Project struct {
 	unary

@@ -420,10 +420,38 @@ func llAncestor(c *store.Container, ctx Pairs, match func(int32) bool, orSelf bo
 	SortPairs(out)
 }
 
+// groupByFragment invokes body once per run of context rows that share a
+// fragment (XPath's following/preceding axes never cross tree boundaries,
+// and a container may hold many document fragments — the shards of a
+// ShardedPool, or the constructed trees of a transient container).
+// Fragments occupy disjoint ascending pre ranges, so the runs are
+// contiguous in the (pre, iter)-sorted context.
+func groupByFragment(c *store.Container, ctx Pairs, body func(sub Pairs, frag int32)) {
+	i := 0
+	for i < ctx.Len() {
+		frag := c.Frag[ctx.Pre[i]]
+		j := i
+		for j < ctx.Len() && c.Frag[ctx.Pre[j]] == frag {
+			j++
+		}
+		body(Pairs{Pre: ctx.Pre[i:j], Iter: ctx.Iter[i:j]}, frag)
+		i = j
+	}
+}
+
 // llFollowing exploits that the following regions of all context nodes of
 // one iteration collapse to a single region starting after the context
-// node with the smallest pre+size (partitioning degenerates to a minimum).
+// node with the smallest pre+size (partitioning degenerates to a
+// minimum), bounded by the context node's fragment. Fragment groups cover
+// disjoint ascending pre ranges, so the concatenated group outputs are in
+// (pre, iter) order.
 func llFollowing(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
+	groupByFragment(c, ctx, func(sub Pairs, frag int32) {
+		followingFrag(c, sub, frag, match, out, st)
+	})
+}
+
+func followingFrag(c *store.Container, ctx Pairs, frag int32, match func(int32) bool, out *Pairs, st *Stats) {
 	cutoff := make(map[int32]int32) // iter -> smallest pre+size
 	for i := 0; i < ctx.Len(); i++ {
 		end := ctx.Pre[i] + c.Size[ctx.Pre[i]]
@@ -442,10 +470,11 @@ func llFollowing(c *store.Container, ctx Pairs, match func(int32) bool, out *Pai
 		cuts = append(cuts, ci{cut, it})
 	}
 	sort.Slice(cuts, func(i, j int) bool { return cuts[i].cut < cuts[j].cut })
+	fragEnd := frag + c.Size[frag]
 	var active []int32
 	next := 0
 	start := cuts[0].cut + 1
-	for p := start; p < int32(c.Len()); p++ {
+	for p := start; p <= fragEnd; p++ {
 		for next < len(cuts) && cuts[next].cut < p {
 			active = insertSorted(active, cuts[next].iter)
 			next = next + 1
@@ -465,8 +494,15 @@ func llFollowing(c *store.Container, ctx Pairs, match func(int32) bool, out *Pai
 
 // llPreceding mirrors llFollowing: per iteration only the context node
 // with the largest pre matters; node v precedes it iff pre(v)+size(v) <
-// pre(c).
+// pre(c), with the sweep confined to the context node's fragment.
 func llPreceding(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
+	groupByFragment(c, ctx, func(sub Pairs, frag int32) {
+		precedingFrag(c, sub, frag, match, out, st)
+	})
+	SortPairs(out)
+}
+
+func precedingFrag(c *store.Container, ctx Pairs, frag int32, match func(int32) bool, out *Pairs, st *Stats) {
 	cutoff := make(map[int32]int32) // iter -> largest context pre
 	for i := 0; i < ctx.Len(); i++ {
 		if cur, ok := cutoff[ctx.Iter[i]]; !ok || ctx.Pre[i] > cur {
@@ -488,7 +524,7 @@ func llPreceding(c *store.Container, ctx Pairs, match func(int32) bool, out *Pai
 		}
 	}
 	sort.Slice(cuts, func(i, j int) bool { return cuts[i].cut < cuts[j].cut })
-	for p := int32(0); p < maxCut; p++ {
+	for p := frag; p < maxCut; p++ {
 		st.Touched++
 		if c.Level[p] == store.NullLevel {
 			p += c.Size[p]
@@ -504,7 +540,6 @@ func llPreceding(c *store.Container, ctx Pairs, match func(int32) bool, out *Pai
 			out.append(p, cuts[i].iter)
 		}
 	}
-	SortPairs(out)
 }
 
 func llFollowingSibling(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {

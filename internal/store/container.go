@@ -382,13 +382,17 @@ func (d *Names) Len() int { return len(d.names) }
 // registry so a per-query transient container can be added without
 // affecting other queries running against the same documents.
 type Pool struct {
-	containers []*Container
-	byName     map[string]*Container
+	containers  []*Container
+	byName      map[string]*Container
+	collections map[string]*ShardedPool
 }
 
 // NewPool returns an empty pool.
 func NewPool() *Pool {
-	return &Pool{byName: make(map[string]*Container)}
+	return &Pool{
+		byName:      make(map[string]*Container),
+		collections: make(map[string]*ShardedPool),
+	}
 }
 
 // Register adds c to the pool, assigning its id.
@@ -411,13 +415,56 @@ func (p *Pool) Get(id int32) *Container { return p.containers[id] }
 // loaded documents — never show up in, or renumber, existing snapshots.
 func (p *Pool) Snapshot() *Pool {
 	q := &Pool{
-		containers: append([]*Container(nil), p.containers...),
-		byName:     make(map[string]*Container, len(p.byName)),
+		containers:  append([]*Container(nil), p.containers...),
+		byName:      make(map[string]*Container, len(p.byName)),
+		collections: make(map[string]*ShardedPool, len(p.collections)),
 	}
 	for k, v := range p.byName {
 		q.byName[k] = v
 	}
+	for k, v := range p.collections {
+		q.collections[k] = v
+	}
 	return q
+}
+
+// RegisterCollection registers the collection's shard containers that
+// this pool does not hold yet (assigning ascending container ids in shard
+// order) and records the collection under its name. Re-registering a
+// collection after WithDoc registers only the fresh shard containers;
+// shards already in this pool — shared with pool snapshots — are left
+// untouched. A ShardedPool belongs to exactly one pool: registering a
+// shard that another pool owns would rewrite its container id under that
+// engine's feet (silently corrupting its Roots resolution), so it
+// panics — build a separate collection per engine instead.
+func (p *Pool) RegisterCollection(sp *ShardedPool) {
+	for _, c := range sp.shards {
+		if c.pool == nil {
+			p.Register(c)
+			if c.elemIndex == nil {
+				c.BuildIndexes()
+			}
+		} else if c.pool != p {
+			panic("store: shard container already registered with another pool; a ShardedPool belongs to one engine")
+		}
+	}
+	p.collections[sp.Name] = sp
+}
+
+// Collection returns the sharded collection registered under name.
+func (p *Pool) Collection(name string) (*ShardedPool, bool) {
+	sp, ok := p.collections[name]
+	return sp, ok
+}
+
+// Collections returns the names of all registered collections.
+func (p *Pool) Collections() []string {
+	names := make([]string, 0, len(p.collections))
+	for n := range p.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // ByName returns the document container registered under name.

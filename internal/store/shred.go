@@ -15,6 +15,25 @@ import (
 // default, like MonetDB/XQuery's shredder in its standard configuration).
 func Shred(name string, r io.Reader, keepWS bool) (*Container, error) {
 	b := NewBuilder(name)
+	if err := ShredInto(b, name, r, keepWS); err != nil {
+		return nil, err
+	}
+	c, err := b.Done()
+	if err != nil {
+		return nil, err
+	}
+	if c.Len() < 2 {
+		return nil, fmt.Errorf("store: shred %s: document has no content", name)
+	}
+	return c, nil
+}
+
+// ShredInto parses one XML document from r and appends it as a new
+// document fragment (StartDoc .. End) to b's container. It is the
+// building block of multi-document shard containers (ShardedPool), where
+// one container holds many document fragments.
+func ShredInto(b *Builder, name string, r io.Reader, keepWS bool) error {
+	start := b.Container().Len()
 	b.StartDoc()
 	dec := xml.NewDecoder(r)
 	depth := 0
@@ -24,7 +43,7 @@ func Shred(name string, r io.Reader, keepWS bool) (*Container, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("store: shred %s: %w", name, err)
+			return fmt.Errorf("store: shred %s: %w", name, err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -53,15 +72,14 @@ func Shred(name string, r io.Reader, keepWS bool) (*Container, error) {
 			b.PI(t.Target, string(t.Inst))
 		}
 	}
+	if depth != 0 {
+		return fmt.Errorf("store: shred %s: %d unclosed elements", name, depth)
+	}
 	b.End() // close document node
-	c, err := b.Done()
-	if err != nil {
-		return nil, err
+	if b.Container().Len()-start < 2 {
+		return fmt.Errorf("store: shred %s: document has no content", name)
 	}
-	if c.Len() < 2 {
-		return nil, fmt.Errorf("store: shred %s: document has no content", name)
-	}
-	return c, nil
+	return nil
 }
 
 func qname(n xml.Name) string {

@@ -412,6 +412,30 @@ func NewStoreContainer(name string, factor float64, seed int64) *store.Container
 	return c
 }
 
+// BuildShardedCollection generates ndocs XMark documents straight into a
+// sharded collection named name (factor per document; document i is named
+// "<name>-<i>.xml" and generated from seed+i, so every document differs).
+// The returned seed map lets a mirroring oracle regenerate each document
+// by name. Shard containers are built concurrently.
+func BuildShardedCollection(name string, ndocs, shards int, factor float64, seed int64) (*store.ShardedPool, map[string]int64) {
+	docNames := make([]string, ndocs)
+	seeds := make(map[string]int64, ndocs)
+	for i := 0; i < ndocs; i++ {
+		docNames[i] = fmt.Sprintf("%s-%d.xml", name, i)
+		seeds[docNames[i]] = seed + int64(i)
+	}
+	sp, err := store.BuildSharded(name, shards, docNames, func(d string, b *store.Builder) error {
+		b.StartDoc()
+		Generate(&StoreSink{B: b}, factor, seeds[d])
+		b.End()
+		return nil
+	})
+	if err != nil {
+		panic("xmark: sharded generation failed: " + err.Error())
+	}
+	return sp, seeds
+}
+
 // Start implements Sink.
 func (s *StoreSink) Start(name string, attrs ...[2]string) {
 	s.B.StartElem(name)

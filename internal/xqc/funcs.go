@@ -17,12 +17,46 @@ func (c *Compiler) compileCall(x *xqp.Call, sc *scope) (ralg.Plan, error) {
 		return litSeq(sc.loop, xqt.Bool(true)), nil
 	case "false":
 		return litSeq(sc.loop, xqt.Bool(false)), nil
-	case "doc":
-		lit, ok := x.Args[0].(*xqp.Literal)
-		if !ok || lit.Kind != xqp.LitString {
-			return nil, fmt.Errorf("xqc: doc() requires a string literal argument")
+	case "doc", "collection":
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("xquery error XPST0017: %s expects 1 argument", x.Name)
 		}
-		root := &ralg.DocRoot{Doc: lit.S}
+		// fn:doc / fn:collection take xs:string?: a statically empty
+		// argument yields the empty sequence.
+		if _, isEmpty := x.Args[0].(*xqp.EmptySeq); isEmpty {
+			return emptySeq(), nil
+		}
+		// The argument is evaluated at plan time when it is constant-
+		// foldable (literals, concat/string over literals); a truly
+		// runtime-valued argument compiles to a Fail operator that raises
+		// a clear dynamic error when the plan executes.
+		var root ralg.Plan
+		name, foldable := constString(x.Args[0])
+		switch {
+		case !foldable:
+			// static checks (undeclared variables, unknown functions)
+			// still apply to the argument even though its value is unused
+			if _, err := c.compileArg(x, 0, sc); err != nil {
+				return nil, err
+			}
+			var msg string
+			if s, multi := x.Args[0].(*xqp.Seq); multi && len(s.Items) > 1 {
+				// statically more than one item: the xs:string? type
+				// error, matching the naive oracle
+				msg = fmt.Sprintf("xquery error XPTY0004: %s() argument is a sequence of %d items", x.Name, len(s.Items))
+			} else {
+				code := "FODC0004: collection()"
+				if x.Name == "doc" {
+					code = "FODC0002: doc()"
+				}
+				msg = fmt.Sprintf("xquery error %s argument is not a constant string expression (this engine resolves %s names at plan time)", code, x.Name)
+			}
+			root = &ralg.Fail{Msg: msg}
+		case x.Name == "doc":
+			root = &ralg.DocRoot{Doc: name}
+		default:
+			root = &ralg.CollectionRoot{Coll: name}
+		}
 		cross := &ralg.Cross{LCols: ralg.Refs("iter"), RCols: ralg.Refs("pos", "item")}
 		cross.SetInput(0, ralg.NewProject(sc.loop, "iter"))
 		cross.SetInput(1, root)
@@ -67,6 +101,49 @@ func (c *Compiler) compileCall(x *xqp.Call, sc *scope) (ralg.Plan, error) {
 		return nil, fmt.Errorf("xquery error XPDY0002: position() outside a predicate")
 	}
 	return nil, fmt.Errorf("xquery error XPST0017: unknown function %s#%d", x.Name, len(x.Args))
+}
+
+// constString statically evaluates e to a string when it is constant-
+// foldable: string/numeric literals, a parenthesized foldable singleton,
+// string() of a foldable expression, and concat() over foldable
+// arguments. It reports ok=false for anything depending on runtime data.
+func constString(e xqp.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *xqp.Literal:
+		switch x.Kind {
+		case xqp.LitString:
+			return x.S, true
+		case xqp.LitInt:
+			return xqt.Int(x.I).AsString(), true
+		case xqp.LitDouble:
+			return xqt.Double(x.F).AsString(), true
+		}
+	case *xqp.Seq:
+		if len(x.Items) == 1 {
+			return constString(x.Items[0])
+		}
+	case *xqp.Call:
+		switch x.Name {
+		case "string":
+			if len(x.Args) == 1 {
+				return constString(x.Args[0])
+			}
+		case "concat":
+			if len(x.Args) < 2 {
+				return "", false
+			}
+			var out string
+			for _, a := range x.Args {
+				s, ok := constString(a)
+				if !ok {
+					return "", false
+				}
+				out += s
+			}
+			return out, true
+		}
+	}
+	return "", false
 }
 
 func (c *Compiler) compileArg(x *xqp.Call, i int, sc *scope) (ralg.Plan, error) {

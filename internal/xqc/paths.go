@@ -133,7 +133,7 @@ func fuseDescendantSteps(steps []xqp.Step) []xqp.Step {
 			next := steps[i+1]
 			positional := false
 			for _, p := range next.Preds {
-				positional = positional || xqp.PredIsPositional(p)
+				positional = positional || xqp.PredUsesPosition(p)
 			}
 			if next.Expr == nil && !positional &&
 				(next.Axis == xqp.AxisChild || next.Axis == xqp.AxisDescendant) {

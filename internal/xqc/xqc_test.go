@@ -127,7 +127,7 @@ func TestStepVariantSelection(t *testing.T) {
 func TestCompileErrors(t *testing.T) {
 	bad := map[string]string{
 		`$x`:          "undeclared variable",
-		`doc($x)//a`:  "string literal",
+		`doc($x)//a`:  "undeclared variable",
 		`nosuch(1)`:   "unknown function",
 		`last()`:      "outside a predicate",
 		`position()`:  "outside a predicate",

@@ -279,3 +279,88 @@ func PredIsPositional(e Expr) bool {
 	}
 	return false
 }
+
+// PredUsesPosition reports whether a predicate is position-sensitive in
+// any form: a bare positional predicate (PredIsPositional), or any
+// expression referencing position() or last() — e.g. the boolean
+// [position() = 2], which PredIsPositional deliberately classifies as a
+// general predicate. Plan rewrites that change a step's context node
+// sets (descendant-step fusion) must be suppressed for such predicates,
+// because they change what position()/last() evaluate to. The check is
+// a conservative over-approximation: a position()/last() occurrence
+// inside a nested path's own predicate also reports true, which only
+// costs the rewrite, never correctness.
+func PredUsesPosition(e Expr) bool {
+	return PredIsPositional(e) || refersToPosition(e)
+}
+
+// refersToPosition walks the expression for position()/last() calls.
+func refersToPosition(e Expr) bool {
+	switch x := e.(type) {
+	case *Call:
+		if x.Name == "last" || x.Name == "position" {
+			return true
+		}
+		for _, a := range x.Args {
+			if refersToPosition(a) {
+				return true
+			}
+		}
+	case *Seq:
+		for _, it := range x.Items {
+			if refersToPosition(it) {
+				return true
+			}
+		}
+	case *If:
+		return refersToPosition(x.Cond) || refersToPosition(x.Then) || refersToPosition(x.Else)
+	case *Binary:
+		return refersToPosition(x.L) || refersToPosition(x.R)
+	case *Unary:
+		return refersToPosition(x.X)
+	case *Path:
+		for _, s := range x.Steps {
+			if s.Expr != nil && refersToPosition(s.Expr) {
+				return true
+			}
+			for _, p := range s.Preds {
+				if refersToPosition(p) {
+					return true
+				}
+			}
+		}
+	case *FLWOR:
+		for _, cl := range x.Clauses {
+			if cl.Expr != nil && refersToPosition(cl.Expr) {
+				return true
+			}
+			for _, k := range cl.Keys {
+				if refersToPosition(k.Expr) {
+					return true
+				}
+			}
+		}
+		return refersToPosition(x.Return)
+	case *Quantified:
+		for _, s := range x.Seqs {
+			if refersToPosition(s) {
+				return true
+			}
+		}
+		return refersToPosition(x.Satisfies)
+	case *ElemCtor:
+		for _, a := range x.Attrs {
+			for _, p := range a.Parts {
+				if refersToPosition(p) {
+					return true
+				}
+			}
+		}
+		for _, p := range x.Content {
+			if refersToPosition(p) {
+				return true
+			}
+		}
+	}
+	return false
+}

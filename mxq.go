@@ -95,6 +95,13 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithParallelThreshold sets the minimum operator input size at which
+// parallel execution kicks in (0 keeps the default; 1 forces every
+// operator onto the chunked code paths — useful for testing).
+func WithParallelThreshold(n int) Option {
+	return func(c *core.Config) { c.ParallelThreshold = n }
+}
+
 // WithPlanCacheSize bounds the LRU cache of compiled plans (0 keeps the
 // default size).
 func WithPlanCacheSize(n int) Option {
@@ -128,6 +135,61 @@ func (db *DB) LoadDocumentString(name, xml string) error {
 // going through XML text.
 func (db *DB) LoadXMark(name string, factor float64, seed int64) {
 	db.eng.LoadContainer(name, xmark.NewStoreContainer(name, factor, seed))
+}
+
+// Doc names one document of a collection corpus.
+type Doc struct {
+	Name string
+	R    io.Reader
+}
+
+// DocString builds a Doc from XML text.
+func DocString(name, xml string) Doc { return Doc{Name: name, R: strings.NewReader(xml)} }
+
+// LoadCollection shreds the given documents into a sharded collection:
+// the corpus is partitioned across `shards` containers by a hash of each
+// document name, and shard containers load concurrently. The collection
+// is queried with collection(name); each shard's documents are evaluated
+// in parallel under WithParallel. Collection documents are not
+// individually addressable via doc().
+func (db *DB) LoadCollection(name string, shards int, docs ...Doc) error {
+	cds := make([]core.CollectionDoc, len(docs))
+	for i, d := range docs {
+		cds[i] = core.CollectionDoc{Name: d.Name, R: d.R}
+	}
+	return db.eng.LoadCollection(name, shards, cds)
+}
+
+// AddToCollection shreds one more document into an existing collection.
+// The affected shard is updated copy-on-write, so in-flight queries keep
+// seeing the collection state their snapshot captured; the updated
+// shard's documents move to the end of the collection's document order.
+// Shredding happens outside the engine lock (queries are never stalled
+// behind the parse); if another goroutine updates the same collection
+// concurrently, the add fails with a "changed concurrently" error and
+// should be retried with a fresh Doc reader. Each add costs O(shard)
+// time and unreclaimed O(shard) pool memory (superseded shard versions
+// stay pinned for snapshot validity) — bulk-load large corpora with
+// LoadCollection.
+func (db *DB) AddToCollection(coll string, doc Doc) error {
+	return db.eng.AddToCollection(coll, doc.Name, doc.R)
+}
+
+// CollectionDocs returns the document names of a loaded collection in
+// collection document order — the order collection(name) enumerates the
+// documents.
+func (db *DB) CollectionDocs(name string) ([]string, bool) {
+	return db.eng.CollectionDocs(name)
+}
+
+// LoadXMarkCollection generates ndocs distinct XMark documents (seeds
+// seed..seed+ndocs-1) into a sharded collection without going through XML
+// text, and returns the per-document generator seeds keyed by document
+// name (for mirroring oracles).
+func (db *DB) LoadXMarkCollection(name string, ndocs, shards int, factor float64, seed int64) map[string]int64 {
+	sp, seeds := xmark.BuildShardedCollection(name, ndocs, shards, factor, seed)
+	db.eng.RegisterCollection(sp)
+	return seeds
 }
 
 // Result is a query result sequence.

@@ -132,3 +132,133 @@ func TestSpecConformanceNaive(t *testing.T) {
 		}
 	}
 }
+
+// --- fn:doc / fn:collection conformance ----------------------------------
+
+// The doc/collection suite runs a fixed corpus — one context document,
+// one doc()-addressable document, and a three-document collection
+// sharded across two containers — through the serial relational engine,
+// the forced-parallel relational engine, and the naive interpreter.
+// Expected values (and expected error codes, marked by a "FODC" prefix in
+// want) come from the XQuery 1.0 / F&O specs: FODC0002 for an
+// unavailable document, FODC0004 for an unavailable collection.
+
+// docCollCases builds the expected values from the engine's own
+// document-order contract: order is what CollectionDocs reported for the
+// loaded corpus (the shard-major contract itself is pinned by
+// TestCollectionDocOrder against store.ShardOf).
+func docCollCases(t *testing.T, order []string) []struct{ name, query, want string } {
+	t.Helper()
+	var inOrder strings.Builder
+	for _, d := range order {
+		inOrder.WriteString(strings.TrimSuffix(strings.TrimPrefix(d, "c"), ".xml"))
+	}
+	return []struct{ name, query, want string }{
+		// fn:doc — F&O 15.5.4: absolute paths stay on the context
+		// document; doc() addresses any loaded document; an unavailable
+		// document raises FODC0002.
+		{"doc-other", `doc("other.xml")/r/v/text()`, "9"},
+		{"doc-context-untouched", `string(/root/b/*)`, "text"},
+		{"doc-unknown", `doc("nope.xml")`, "FODC0002"},
+		{"doc-folded-arg", `doc(concat("other", ".xml"))/r/v/text()`, "9"},
+		// xs:string? argument: a statically empty sequence yields (); a
+		// multi-item sequence is the XPTY0004 type error
+		{"doc-empty-arg", `count(doc(()))`, "0"},
+		{"collection-empty-arg", `count(collection(()))`, "0"},
+		{"doc-multi-arg", `doc(("other.xml", "spec.xml"))`, "XPTY0004"},
+		{"collection-multi-arg", `collection(("col", "col"))`, "XPTY0004"},
+		// fn:collection — F&O 15.5.6: enumerates the corpus in a stable
+		// document order; an unavailable collection raises FODC0004.
+		{"collection-count", `count(collection("col"))`, "3"},
+		{"collection-unknown", `collection("nope")`, "FODC0004"},
+		{"collection-doc-order", `collection("col")/r/v/text()`, inOrder.String()},
+		{"collection-in-flwor", `for $d in collection("col") where number($d/r/v) > 1 return <v>{$d/r/v/text()}</v>`,
+			flworWant(order)},
+		{"collection-desc", `count(collection("col")//v)`, "3"},
+		{"collection-root-kind", `count(collection("col")/..)`, "0"},
+	}
+}
+
+// flworWant renders the FLWOR case's expected value in collection order.
+func flworWant(order []string) string {
+	var sb strings.Builder
+	for _, d := range order {
+		v := strings.TrimSuffix(strings.TrimPrefix(d, "c"), ".xml")
+		if v != "1" {
+			sb.WriteString("<v>" + v + "</v>")
+		}
+	}
+	return sb.String()
+}
+
+var docCollCorpus = map[string]string{
+	"c1.xml": `<r><v>1</v></r>`,
+	"c2.xml": `<r><v>2</v></r>`,
+	"c3.xml": `<r><v>3</v></r>`,
+}
+
+// checkDocColl runs one engine (as a QueryString closure) through the
+// doc/collection cases. Expected values starting with an error-code
+// prefix (FODC/XPTY) assert an error carrying that code.
+func checkDocColl(t *testing.T, label string, order []string, query func(string) (string, error)) {
+	t.Helper()
+	for _, c := range docCollCases(t, order) {
+		got, err := query(c.query)
+		if strings.HasPrefix(c.want, "FODC") || strings.HasPrefix(c.want, "XPTY") {
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("[%s] %s: %s error = %v, want code %s", label, c.name, c.query, err, c.want)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("[%s] %s: %s: %v", label, c.name, c.query, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("[%s] %s: %s = %q, want %q", label, c.name, c.query, got, c.want)
+		}
+	}
+}
+
+func TestSpecConformanceDocCollection(t *testing.T) {
+	mkDB := func(opts ...mxq.Option) *mxq.DB {
+		db := mxq.Open(opts...)
+		if err := db.LoadDocumentString("spec.xml", specDoc); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.LoadDocumentString("other.xml", `<r><v>9</v></r>`); err != nil {
+			t.Fatal(err)
+		}
+		var docs []mxq.Doc
+		for _, n := range []string{"c1.xml", "c2.xml", "c3.xml"} {
+			docs = append(docs, mxq.DocString(n, docCollCorpus[n]))
+		}
+		if err := db.LoadCollection("col", 2, docs...); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	serial := mkDB()
+	par := mkDB(mxq.WithWorkers(4), mxq.WithParallelThreshold(1))
+
+	oracle := naive.New()
+	if err := oracle.LoadXML("spec.xml", strings.NewReader(specDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.LoadXML("other.xml", strings.NewReader(`<r><v>9</v></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	order, ok := serial.CollectionDocs("col")
+	if !ok {
+		t.Fatal("collection col not registered")
+	}
+	for _, d := range order {
+		if err := oracle.AddCollectionXML("col", d, strings.NewReader(docCollCorpus[d])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	checkDocColl(t, "serial", order, serial.QueryString)
+	checkDocColl(t, "parallel", order, par.QueryString)
+	checkDocColl(t, "naive", order, oracle.QueryString)
+}
