@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-ci fmt vet build test race race-cover bench fuzz-short cover
+.PHONY: check check-ci fmt vet build test race race-cover bench bench-smoke fuzz-short cover
 
 # check is the CI gate: formatting, vet, build, and the full test suite
 # under the race detector (the parallel executor must stay race-clean).
@@ -33,6 +33,12 @@ race-cover:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# bench-smoke runs the prepared-vs-cold statement benchmark once: a
+# fast CI gate on the serving-path API (Prepare/bind/execute must stay
+# strictly cheaper than cold parse+compile+execute).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'PreparedVsCold' -benchtime 1x .
 
 # fuzz-short runs the seeded differential query generator (relational
 # serial + parallel vs the naive oracle, ~30s budget). MXQ_FUZZ_SEED

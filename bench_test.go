@@ -18,6 +18,7 @@ import (
 	"mxq/internal/core"
 	"mxq/internal/naive"
 	"mxq/internal/pages"
+	"mxq/internal/ralg"
 	"mxq/internal/scj"
 	"mxq/internal/store"
 	"mxq/internal/xmark"
@@ -161,6 +162,67 @@ func BenchmarkFig15_Scalability(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkPreparedVsCold measures the prepared-statement API: cold is
+// parse+compile+optimize+execute per call (plan cache disabled), while
+// prepared pays Prepare once and bind+execute per call. The delta is
+// the amortized compilation cost the statement-centric API saves on
+// the serving path (`make bench-smoke` runs this family once in CI).
+func BenchmarkPreparedVsCold(b *testing.B) {
+	coldCfg := core.DefaultConfig()
+	coldCfg.PlanCache = false
+	cold := engineWith(coldCfg, benchFactor)
+	warm := engineWith(core.DefaultConfig(), benchFactor)
+	for _, q := range []int{1, 2, 5, 8, 13, 17, 20} {
+		b.Run(fmt.Sprintf("cold/Q%02d", q), func(b *testing.B) {
+			runQuery(b, cold, xmark.Query(q))
+		})
+		b.Run(fmt.Sprintf("prepared/Q%02d", q), func(b *testing.B) {
+			p, err := warm.Prepare(xmark.Query(q))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Execute(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// a parameterized statement: bindings change per execution, the plan
+	// does not
+	const paramQ = `declare variable $min external;
+		for $a in /site/closed_auctions/closed_auction
+		where number($a/price) > $min return $a/price/text()`
+	b.Run("prepared/bind_execute", func(b *testing.B) {
+		p, err := warm.Prepare(paramQ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bind := core.Bindings{"min": ralg.BindFloats(float64(i % 100))}
+			if _, err := p.Execute(bind); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold/bind_equivalent", func(b *testing.B) {
+		// the unparameterized alternative: splice the value into the query
+		// text, forcing a fresh compile per distinct value
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := fmt.Sprintf(`for $a in /site/closed_auctions/closed_auction
+				where number($a/price) > %d return $a/price/text()`, i%100)
+			if _, err := cold.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkShred regenerates the §6 shredding experiment.

@@ -6,6 +6,14 @@
 //	xq -doc auction.xml 'for $p in /site/people/person return $p/name'
 //	xq -xmark 0.01 'count(//item)'
 //	echo 'count(//item)' | xq -xmark 0.01
+//
+// Queries whose prolog declares external variables take their values
+// from repeatable -var flags, typed via an optional prefix (the
+// default is string):
+//
+//	xq -xmark 0.01 -var min=int:40 -var tag=price \
+//	  'declare variable $min external; declare variable $tag external;
+//	   count(//*[local-name(.) = $tag][number(.) > $min])'
 package main
 
 import (
@@ -13,11 +21,63 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"mxq"
 )
+
+// varBinding is one parsed -var flag: an external variable name and
+// its typed value.
+type varBinding struct {
+	name string
+	val  mxq.Value
+}
+
+// varFlags collects repeatable -var name=value flags. Values are typed
+// with a prefix: int:, float:, bool: (anything else binds a string).
+type varFlags []varBinding
+
+func (v *varFlags) String() string {
+	names := make([]string, len(*v))
+	for i, b := range *v {
+		names[i] = b.name
+	}
+	return strings.Join(names, ",")
+}
+
+func (v *varFlags) Set(s string) error {
+	name, raw, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("-var wants name=value, got %q", s)
+	}
+	var val mxq.Value
+	switch {
+	case strings.HasPrefix(raw, "int:"):
+		n, err := strconv.ParseInt(raw[len("int:"):], 10, 64)
+		if err != nil {
+			return fmt.Errorf("-var %s: %v", name, err)
+		}
+		val = mxq.Int(n)
+	case strings.HasPrefix(raw, "float:"):
+		f, err := strconv.ParseFloat(raw[len("float:"):], 64)
+		if err != nil {
+			return fmt.Errorf("-var %s: %v", name, err)
+		}
+		val = mxq.Float(f)
+	case strings.HasPrefix(raw, "bool:"):
+		b, err := strconv.ParseBool(raw[len("bool:"):])
+		if err != nil {
+			return fmt.Errorf("-var %s: %v", name, err)
+		}
+		val = mxq.Bool(b)
+	default:
+		val = mxq.String(raw)
+	}
+	*v = append(*v, varBinding{name: name, val: val})
+	return nil
+}
 
 func main() {
 	var (
@@ -32,6 +92,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel worker goroutines (0 = GOMAXPROCS)")
 		timing   = flag.Bool("time", false, "print evaluation time")
 	)
+	var vars varFlags
+	flag.Var(&vars, "var", "bind an external variable: name=value, name=int:N, name=float:F, name=bool:B (repeatable)")
 	flag.Parse()
 
 	var opts []mxq.Option
@@ -91,8 +153,17 @@ func main() {
 		fmt.Printf("plan: %d relational algebra operators, %d joins\n", ops, joins)
 		return
 	}
+	// the prepared path is the only query path: -var values bind the
+	// query's external variables
+	stmt, err := db.Prepare(query)
+	if err != nil {
+		fatal(err)
+	}
+	for _, b := range vars {
+		stmt = stmt.Bind(b.name, b.val)
+	}
 	start := time.Now()
-	res, err := db.Query(query)
+	res, err := stmt.Exec()
 	if err != nil {
 		fatal(err)
 	}

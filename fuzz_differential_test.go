@@ -9,7 +9,9 @@ import (
 	"mxq"
 	"mxq/internal/naive"
 	"mxq/internal/qgen"
+	"mxq/internal/ralg"
 	"mxq/internal/xmark"
+	"mxq/internal/xqt"
 )
 
 // The randomized differential fuzzer: a seeded, deterministic query
@@ -71,16 +73,57 @@ func buildFuzzWorld(t testing.TB, factor float64, ndocs, shards int) *fuzzWorld 
 	return w
 }
 
+// relBindings converts generated bindings to the relational engines'
+// typed binding environment.
+func relBindings(binds map[string][]xqt.Item) mxq.Bindings {
+	if len(binds) == 0 {
+		return nil
+	}
+	out := make(mxq.Bindings, len(binds))
+	for name, items := range binds {
+		out[name] = ralg.BindItems(items...)
+	}
+	return out
+}
+
+// naiveBindings converts generated bindings to the oracle's value
+// sequences.
+func naiveBindings(binds map[string][]xqt.Item) map[string][]naive.Val {
+	if len(binds) == 0 {
+		return nil
+	}
+	out := make(map[string][]naive.Val, len(binds))
+	for name, items := range binds {
+		vals := make([]naive.Val, len(items))
+		for i, it := range items {
+			vals[i] = naive.Val{Atom: it}
+		}
+		out[name] = vals
+	}
+	return out
+}
+
 // runDifferentialFuzz generates n queries from the given seed and
-// cross-checks the three engines on each.
+// cross-checks the three engines on each. Every third query is a
+// parameterized query: its prolog declares 1–2 external variables and
+// it executes through the prepared path (Prepare + Execute with typed
+// bindings) on the relational engines versus QueryBound on the oracle.
 func runDifferentialFuzz(t *testing.T, w *fuzzWorld, seed int64, n int) {
 	g := qgen.New(seed, w.roots)
 	agreedErrs := 0
 	for i := 0; i < n; i++ {
-		q := g.Query()
-		want, errO := w.oracle.QueryString(q)
-		gotS, errS := w.serial.QueryString(q)
-		gotP, errP := w.parallel.QueryString(q)
+		var q string
+		var binds map[string][]xqt.Item
+		if i%3 == 2 {
+			bq := g.BoundQuery()
+			q, binds = bq.Query, bq.Binds
+		} else {
+			q = g.Query()
+		}
+		rb := relBindings(binds)
+		want, errO := w.oracle.QueryStringBound(q, naiveBindings(binds))
+		gotS, errS := queryBound(w.serial, q, rb)
+		gotP, errP := queryBound(w.parallel, q, rb)
 		nerr := 0
 		for _, err := range []error{errO, errS, errP} {
 			if err != nil {
@@ -91,18 +134,28 @@ func runDifferentialFuzz(t *testing.T, w *fuzzWorld, seed int64, n int) {
 		case nerr == 3:
 			agreedErrs++ // all engines reject the query: agreement
 		case nerr != 0:
-			t.Fatalf("query %d %q: engines disagree on erroring:\n oracle: %v\n serial: %v\n parallel: %v",
-				i, q, errO, errS, errP)
+			t.Fatalf("query %d %q (binds %v): engines disagree on erroring:\n oracle: %v\n serial: %v\n parallel: %v",
+				i, q, binds, errO, errS, errP)
 		case gotS != want:
-			t.Fatalf("query %d %q: serial mismatch:\n got  %q\n want %q", i, q, gotS, want)
+			t.Fatalf("query %d %q (binds %v): serial mismatch:\n got  %q\n want %q", i, q, binds, gotS, want)
 		case gotP != want:
-			t.Fatalf("query %d %q: parallel mismatch:\n got  %q\n want %q", i, q, gotP, want)
+			t.Fatalf("query %d %q (binds %v): parallel mismatch:\n got  %q\n want %q", i, q, binds, gotP, want)
 		}
 	}
 	t.Logf("%d queries, %d with agreed errors, 0 mismatches", n, agreedErrs)
 	if agreedErrs > n/5 {
 		t.Errorf("%d/%d queries errored — generator drifted out of the supported dialect", agreedErrs, n)
 	}
+}
+
+// queryBound runs one query through the prepared path of a relational
+// engine.
+func queryBound(db *mxq.DB, q string, b mxq.Bindings) (string, error) {
+	p, err := db.Engine().Prepare(q)
+	if err != nil {
+		return "", err
+	}
+	return p.ExecuteString(b)
 }
 
 // TestDifferentialFuzzShort is the seeded short run wired into the

@@ -9,13 +9,16 @@
 //
 // An Engine is safe for concurrent use. Loaded documents are immutable;
 // the registry of documents (the store.Pool) is guarded by an RWMutex,
-// and every Query takes a cheap pool snapshot plus a fresh transient
-// container, so concurrent queries — and concurrent document loads —
-// never share mutable state. Compiled plans are immutable after
-// optimization and cached in a lock-protected LRU keyed by (context
-// document, query text); any number of in-flight queries may execute the
-// same cached plan. Result node items stay valid for the lifetime of the
-// Result (they pin the snapshot), even across later loads and queries.
+// and every execution takes a cheap pool snapshot plus a fresh
+// transient container, so concurrent queries — and concurrent document
+// loads — never share mutable state. Compiled queries are immutable
+// after optimization and cached in a lock-protected LRU keyed by
+// (compiler options, query text); the context document and the external
+// variable bindings of a prepared query are execution-time plan inputs,
+// so any number of in-flight executions — of one Prepared handle or of
+// independent queries — may share the same cached plan. Result node
+// items stay valid for the lifetime of the Result (they pin the
+// snapshot), even across later loads and queries.
 //
 // Intra-query parallelism (Config.Parallel) partitions the hot operators
 // of one plan across a bounded goroutine pool; it composes freely with
@@ -46,9 +49,10 @@ type Config struct {
 	// sort elimination, refine sorts, streaming rank, positional joins,
 	// merge duplicate elimination (Figure 14's "order preserving").
 	OrderAware bool
-	// PlanCache re-uses compiled physical plans per (context document,
+	// PlanCache re-uses compiled physical plans per (compiler options,
 	// query text) pair (the paper's "physical query plan caching
-	// feature"). The cache is a concurrency-safe LRU.
+	// feature"); context document and bindings are execution-time plan
+	// inputs, not key components. The cache is a concurrency-safe LRU.
 	PlanCache bool
 	// PlanCacheSize bounds the LRU plan cache; 0 means
 	// DefaultPlanCacheSize.
@@ -87,7 +91,8 @@ func ParallelConfig() Config {
 // safe for concurrent use; see the package documentation for the
 // concurrency model.
 type Engine struct {
-	cfg Config
+	cfg     Config
+	optsKey string // compiler-options fingerprint prefixed to cache keys
 
 	mu         sync.RWMutex // guards pool registration and defaultDoc
 	pool       *store.Pool
@@ -101,11 +106,20 @@ type Engine struct {
 
 // New returns an engine with the given configuration.
 func New(cfg Config) *Engine {
-	e := &Engine{cfg: cfg, pool: store.NewPool()}
+	e := &Engine{cfg: cfg, pool: store.NewPool(), optsKey: optionsKey(cfg)}
 	if cfg.PlanCache {
 		e.cache = newPlanCache(cfg.PlanCacheSize)
 	}
 	return e
+}
+
+// optionsKey fingerprints the configuration knobs that change compiled
+// plans; together with the query text it forms the plan cache key.
+func optionsKey(cfg Config) string {
+	return fmt.Sprintf("j%t:c%d:d%d:n%t:o%t",
+		cfg.Compiler.JoinRecognition, cfg.Compiler.ChildVariant,
+		cfg.Compiler.DescVariant, cfg.Compiler.NametestPushdown,
+		cfg.OrderAware)
 }
 
 // Pool exposes the container pool (used by benchmarks and tests).
@@ -264,14 +278,19 @@ type Result struct {
 // Compile parses and compiles a query to its physical plan (optimized
 // according to the engine configuration) without executing it.
 func (e *Engine) Compile(q string) (ralg.Plan, error) {
-	e.mu.RLock()
-	doc := e.defaultDoc
-	e.mu.RUnlock()
-	return e.compile(q, doc)
+	cq, err := e.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return cq.Plan, nil
 }
 
-func (e *Engine) compile(q, doc string) (ralg.Plan, error) {
-	key := doc + "\x00" + q
+// compile is the single compile path of the engine: Prepare, Query and
+// QueryString all go through it. The result — main plan plus the
+// prolog parameter plans — is independent of the context document and
+// of any bindings, so it is cached per (compiler options, query text).
+func (e *Engine) compile(q string) (*xqc.Compiled, error) {
+	key := e.optsKey + "\x00" + q
 	if e.cache != nil {
 		if p, ok := e.cache.get(key); ok {
 			return p, nil
@@ -281,45 +300,35 @@ func (e *Engine) compile(q, doc string) (ralg.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := xqc.Compile(m, doc, e.cfg.Compiler)
+	cq, err := xqc.Compile(m, e.cfg.Compiler)
 	if err != nil {
 		return nil, err
 	}
 	if e.cfg.OrderAware {
-		plan = opt.Optimize(plan)
+		cq.Plan = opt.Optimize(cq.Plan)
+		for i := range cq.Params {
+			if cq.Params[i].Init != nil {
+				cq.Params[i].Init = opt.Optimize(cq.Params[i].Init)
+			}
+		}
 	}
 	if e.cache != nil {
-		e.cache.put(key, plan)
+		e.cache.put(key, cq)
 	}
-	return plan, nil
+	return cq, nil
 }
 
-// Query evaluates q and returns its result. Node items in the result
-// stay valid for the lifetime of the Result: constructed nodes live in a
-// per-query transient container owned by the result's pool snapshot.
+// Query evaluates q and returns its result: it prepares the query
+// (hitting the plan cache on repeats) and executes it without
+// bindings. Node items in the result stay valid for the lifetime of
+// the Result: constructed nodes live in a per-query transient
+// container owned by the result's pool snapshot.
 func (e *Engine) Query(q string) (*Result, error) {
-	e.mu.RLock()
-	doc := e.defaultDoc
-	qp := e.pool.Snapshot()
-	e.mu.RUnlock()
-	plan, err := e.compile(q, doc)
+	p, err := e.Prepare(q)
 	if err != nil {
 		return nil, err
 	}
-	transient := store.NewContainer("")
-	qp.Register(transient)
-	ex := ralg.NewExec(qp, transient)
-	ex.Par = e.parOptions()
-	tab, err := ex.Run(plan)
-	if err != nil {
-		return nil, err
-	}
-	e.statsMu.Lock()
-	e.lastStats = ex.Stats
-	e.statsMu.Unlock()
-	// Items materializes a fresh polymorphic slice off the typed-vector
-	// column, so the result does not pin the executor's tables.
-	return &Result{Items: tab.Items("item"), pool: qp}, nil
+	return p.Execute(nil)
 }
 
 // LastStats returns the executor counters of the most recent Query.

@@ -120,7 +120,13 @@ func TestPlanCacheLRU(t *testing.T) {
 	}
 }
 
-func TestPlanCacheKeyedByContextDocument(t *testing.T) {
+// TestContextDocumentIsExecutionInput is the regression test for the
+// stale-context-document cache hazard: the plan cache is keyed by
+// (compiler options, query text) only, and the context document is
+// resolved at execution time through the plan's ContextRoot leaf. The
+// same cached entry must therefore serve both context documents — one
+// plan, two answers — and flipping back must not recompile either.
+func TestContextDocumentIsExecutionInput(t *testing.T) {
 	eng := New(DefaultConfig())
 	if err := eng.LoadXML("a.xml", strings.NewReader(`<r><x/></r>`)); err != nil {
 		t.Fatal(err)
@@ -128,7 +134,12 @@ func TestPlanCacheKeyedByContextDocument(t *testing.T) {
 	if err := eng.LoadXML("b.xml", strings.NewReader(`<r><x/><x/></r>`)); err != nil {
 		t.Fatal(err)
 	}
-	got, err := eng.QueryString(`count(/r/x)`)
+	q := `count(/r/x)`
+	prep, err := eng.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.QueryString(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,12 +147,32 @@ func TestPlanCacheKeyedByContextDocument(t *testing.T) {
 		t.Fatalf("against a.xml: got %q, want 1", got)
 	}
 	eng.SetContextDocument("b.xml")
-	got, err = eng.QueryString(`count(/r/x)`)
+	got, err = eng.QueryString(q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != "2" {
 		t.Errorf("after SetContextDocument: got %q, want 2 (stale cached plan?)", got)
+	}
+	// one cache entry serves both documents — no per-document recompile
+	if n := eng.cache.len(); n != 1 {
+		t.Errorf("cache holds %d plans after the context flip, want 1", n)
+	}
+	// the entry is the very plan prepared up front (pointer identity),
+	// and the prepared handle itself follows the flipped context too
+	if p2, _ := eng.Prepare(q); p2.cq != prep.cq {
+		t.Error("context flip evicted or replaced the cached plan")
+	}
+	s, err := prep.ExecuteString(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "2" {
+		t.Errorf("prepared handle after SetContextDocument: got %q, want 2", s)
+	}
+	eng.SetContextDocument("a.xml")
+	if s, _ = prep.ExecuteString(nil); s != "1" {
+		t.Errorf("prepared handle after flipping back: got %q, want 1", s)
 	}
 }
 

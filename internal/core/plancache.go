@@ -4,18 +4,21 @@ import (
 	"container/list"
 	"sync"
 
-	"mxq/internal/ralg"
+	"mxq/internal/xqc"
 )
 
 // DefaultPlanCacheSize bounds the compiled-plan cache when
 // Config.PlanCacheSize is zero.
 const DefaultPlanCacheSize = 256
 
-// planCache is a concurrency-safe LRU cache of compiled physical plans,
-// keyed by (context document, query text). Plans are immutable after
-// optimization, so one cached plan may be executed by any number of
-// concurrent queries; each execution keeps its own memo table and
-// transient container.
+// planCache is a concurrency-safe LRU cache of compiled queries, keyed
+// by (compiler options, query text). The context document and the
+// external variable bindings are execution-time inputs of the plan
+// (ContextRoot/ParamTable leaves), not part of the key — one cached
+// entry serves every context document and every binding set. Compiled
+// queries are immutable after optimization, so one cached entry may be
+// executed by any number of concurrent queries; each execution keeps
+// its own memo table and transient container.
 type planCache struct {
 	mu  sync.Mutex
 	cap int
@@ -25,7 +28,7 @@ type planCache struct {
 
 type planEntry struct {
 	key  string
-	plan ralg.Plan
+	plan *xqc.Compiled
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -35,7 +38,7 @@ func newPlanCache(capacity int) *planCache {
 	return &planCache{cap: capacity, m: make(map[string]*list.Element), lru: list.New()}
 }
 
-func (c *planCache) get(key string) (ralg.Plan, bool) {
+func (c *planCache) get(key string) (*xqc.Compiled, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
@@ -46,7 +49,7 @@ func (c *planCache) get(key string) (ralg.Plan, bool) {
 	return el.Value.(*planEntry).plan, true
 }
 
-func (c *planCache) put(key string, p ralg.Plan) {
+func (c *planCache) put(key string, p *xqc.Compiled) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"mxq/internal/ralg"
+	"mxq/internal/store"
+	"mxq/internal/xqc"
+)
+
+// Bindings maps external variable names (declared in the query prolog
+// with "declare variable $name external") to their bound sequences,
+// materialized as typed item vectors via the ralg.Bind* constructors.
+type Bindings = ralg.Bindings
+
+// Prepared is a prepared query: the parse/compile/optimize cost is paid
+// once (Prepare) and amortized across executions (Execute). A Prepared
+// handle is immutable and safe for concurrent use — any number of
+// goroutines may Execute it simultaneously with different bindings;
+// each execution takes a fresh snapshot of the engine's loaded
+// documents (and of its current context document) plus its own
+// transient container, exactly like Engine.Query.
+type Prepared struct {
+	eng   *Engine
+	query string
+	cq    *xqc.Compiled
+}
+
+// Prepare parses, compiles and optimizes q into a reusable statement
+// handle. Repeated Prepare calls for the same query text hit the plan
+// cache, so handles are cheap to re-derive; holding one pins the
+// compiled plan independent of cache eviction.
+func (e *Engine) Prepare(q string) (*Prepared, error) {
+	cq, err := e.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{eng: e, query: q, cq: cq}, nil
+}
+
+// Query returns the query text the statement was prepared from.
+func (p *Prepared) Query() string { return p.query }
+
+// Plan exposes the compiled main plan (benchmarks, plan statistics).
+func (p *Prepared) Plan() ralg.Plan { return p.cq.Plan }
+
+// VarInfo describes one external variable of a prepared query, in
+// declaration order.
+type VarInfo struct {
+	Name string
+	// Required is true for "declare variable $x external;" without a
+	// default: executing without a binding for it raises XPDY0002.
+	Required bool
+	// Singleton is true when the declaration's default expression is
+	// statically a single item: binding more than one item raises
+	// XPTY0004.
+	Singleton bool
+}
+
+// Vars returns the external variables the statement accepts, in
+// declaration order.
+func (p *Prepared) Vars() []VarInfo {
+	var out []VarInfo
+	for _, prm := range p.cq.Params {
+		if !prm.External {
+			continue
+		}
+		out = append(out, VarInfo{Name: prm.Name, Required: prm.Init == nil, Singleton: prm.Singleton})
+	}
+	return out
+}
+
+// Execute runs the prepared plan under the given bindings and returns
+// the result. Bindings are validated against the declared external
+// variables: binding an undeclared name is XPST0008, leaving a
+// required external unbound is XPDY0002, and binding a multi-item
+// sequence where the declaration's default implies a single item is
+// XPTY0004. Unbound externals with defaults — and all non-external
+// prolog variables — are evaluated per execution, in declaration
+// order, against the same document snapshot as the main plan.
+func (p *Prepared) Execute(b Bindings) (*Result, error) {
+	for name := range b {
+		if !p.declaresExternal(name) {
+			return nil, fmt.Errorf("xquery error XPST0008: no external variable $%s declared", name)
+		}
+	}
+	e := p.eng
+	e.mu.RLock()
+	doc := e.defaultDoc
+	qp := e.pool.Snapshot()
+	e.mu.RUnlock()
+	transient := store.NewContainer("")
+	qp.Register(transient)
+	ex := ralg.NewExec(qp, transient)
+	ex.Par = e.parOptions()
+	ex.ContextDoc = doc
+	env := make(ralg.Bindings, len(p.cq.Params))
+	ex.Bindings = env
+	for i := range p.cq.Params {
+		prm := &p.cq.Params[i]
+		if prm.External {
+			if v, ok := b[prm.Name]; ok {
+				if prm.Singleton && v.Len() > 1 {
+					return nil, fmt.Errorf("xquery error XPTY0004: external variable $%s expects a single item (its default is one) but is bound to %d items", prm.Name, v.Len())
+				}
+				env[prm.Name] = v
+				continue
+			}
+			if prm.Init == nil {
+				return nil, fmt.Errorf("xquery error XPDY0002: no value bound for external variable $%s", prm.Name)
+			}
+		}
+		tab, err := ex.Run(prm.Init)
+		if err != nil {
+			return nil, err
+		}
+		env[prm.Name] = *tab.ItemVec("item")
+	}
+	tab, err := ex.Run(p.cq.Plan)
+	if err != nil {
+		return nil, err
+	}
+	e.statsMu.Lock()
+	e.lastStats = ex.Stats
+	e.statsMu.Unlock()
+	// Items materializes a fresh polymorphic slice off the typed-vector
+	// column, so the result does not pin the executor's tables.
+	return &Result{Items: tab.Items("item"), pool: qp}, nil
+}
+
+// ExecuteString runs the prepared plan under the given bindings and
+// serializes the result.
+func (p *Prepared) ExecuteString(b Bindings) (string, error) {
+	r, err := p.Execute(b)
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}
+
+func (p *Prepared) declaresExternal(name string) bool {
+	for _, prm := range p.cq.Params {
+		if prm.External && prm.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -19,6 +19,7 @@ type Interp struct {
 	defaultDoc  string
 	ord         int64
 	funcs       map[string]*xqp.FuncDecl
+	prolog      map[string][]Val // prolog variables of the current query
 	depth       int
 }
 
@@ -84,6 +85,19 @@ func (in *Interp) AddCollectionXML(coll, docName string, r io.Reader) error {
 
 // Query parses and evaluates a query, returning the result sequence.
 func (in *Interp) Query(q string) ([]Val, error) {
+	return in.QueryBound(q, nil)
+}
+
+// QueryBound parses and evaluates a query under the given external
+// variable bindings, mirroring the relational engine's prepared-query
+// semantics exactly: prolog declarations are processed in order (a
+// declaration sees only the declarations before it); non-external
+// variables evaluate their init expressions; external variables take
+// their binding, fall back to their default expression, or raise
+// XPDY0002 when required and unbound. Binding an undeclared name is
+// XPST0008; binding more than one item where the declaration's default
+// is statically a single item is XPTY0004.
+func (in *Interp) QueryBound(q string, binds map[string][]Val) ([]Val, error) {
 	m, err := xqp.Parse(q)
 	if err != nil {
 		return nil, err
@@ -92,13 +106,55 @@ func (in *Interp) Query(q string) ([]Val, error) {
 	for _, f := range m.Funcs {
 		in.funcs[f.Name] = f
 	}
+	for name := range binds {
+		declared := false
+		for _, d := range m.Vars {
+			if d.External && d.Name == name {
+				declared = true
+				break
+			}
+		}
+		if !declared {
+			return nil, fmt.Errorf("xquery error XPST0008: no external variable $%s declared", name)
+		}
+	}
 	env := &scope{vars: make(map[string][]Val)}
+	// prolog variables are visible inside user-defined function bodies
+	// too (evalCall seeds function scopes from this map, which grows in
+	// declaration order so a default's UDF call sees only earlier
+	// declarations — matching the relational compiler's declLimit)
+	in.prolog = env.vars
+	for _, d := range m.Vars {
+		if d.External {
+			if vals, ok := binds[d.Name]; ok {
+				if d.Init != nil && xqp.StaticSingleton(d.Init) && len(vals) > 1 {
+					return nil, fmt.Errorf("xquery error XPTY0004: external variable $%s expects a single item (its default is one) but is bound to %d items", d.Name, len(vals))
+				}
+				env.vars[d.Name] = vals
+				continue
+			}
+			if d.Init == nil {
+				return nil, fmt.Errorf("xquery error XPDY0002: no value bound for external variable $%s", d.Name)
+			}
+		}
+		v, err := in.eval(d.Init, env)
+		if err != nil {
+			return nil, err
+		}
+		env.vars[d.Name] = v
+	}
 	return in.eval(m.Body, env)
 }
 
 // QueryString evaluates the query and serializes its result.
 func (in *Interp) QueryString(q string) (string, error) {
-	seq, err := in.Query(q)
+	return in.QueryStringBound(q, nil)
+}
+
+// QueryStringBound evaluates the query under bindings and serializes
+// its result.
+func (in *Interp) QueryStringBound(q string, binds map[string][]Val) (string, error) {
+	seq, err := in.QueryBound(q, binds)
 	if err != nil {
 		return "", err
 	}

@@ -22,7 +22,12 @@ func (in *Interp) evalCall(c *xqp.Call, env *scope) ([]Val, error) {
 		if in.depth >= maxUDFDepth {
 			return nil, fmt.Errorf("naive: user function recursion deeper than %d", maxUDFDepth)
 		}
-		fenv := &scope{vars: make(map[string][]Val)}
+		// function bodies see the prolog variables (externals and
+		// globals) but not the caller's locals; parameters shadow
+		fenv := &scope{vars: make(map[string][]Val, len(in.prolog)+len(f.Params))}
+		for name, v := range in.prolog {
+			fenv.vars[name] = v
+		}
 		for i, p := range f.Params {
 			v, err := in.eval(c.Args[i], env)
 			if err != nil {

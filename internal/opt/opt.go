@@ -227,6 +227,20 @@ func (o *optimizer) infer(p ralg.Plan) *props {
 		pr.cnst["pos"] = true
 		pr.cnst["item"] = true
 		pr.ords = append(pr.ords, []string{"pos"})
+	case *ralg.ContextRoot:
+		// single row, like DocRoot — but the item is only constant within
+		// one execution (it depends on the context document), so it keeps
+		// the key/ord properties and not const(item)
+		pr.key["pos"] = true
+		pr.cnst["pos"] = true
+		pr.key["item"] = true
+		pr.ords = append(pr.ords, []string{"pos"})
+	case *ralg.ParamTable:
+		// pos is the dense 1..N position of the bound sequence; items are
+		// arbitrary (bindings may repeat values)
+		pr.key["pos"] = true
+		pr.dense["pos"] = true
+		pr.ords = append(pr.ords, []string{"pos"})
 	case *ralg.CollectionRoot:
 		// pos is the dense 1..N document ordinal; items are the distinct
 		// document roots in (container, pre) — i.e. sorted — order

@@ -5,13 +5,16 @@
 // byte-identical. The generator stays inside the dialect both engines
 // implement and favors the constructs whose plans differ most between
 // them (location steps with predicates, FLWOR pipelines, aggregates,
-// general comparisons, doc()/collection() roots).
+// general comparisons, doc()/collection() roots, and — via BoundQuery —
+// prepared queries with external variables and typed bindings).
 package qgen
 
 import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"mxq/internal/xqt"
 )
 
 // Gen is one deterministic query stream. Two Gens with the same seed and
@@ -153,6 +156,132 @@ func (g *Gen) ret(v string) string {
 	default:
 		return "$" + v
 	}
+}
+
+// BoundQuery is a generated query whose prolog declares external
+// variables, plus the typed bindings to execute it with. A declared
+// variable with a default may be deliberately absent from Binds (the
+// engines must then agree on the default's value).
+type BoundQuery struct {
+	Query string
+	Binds map[string][]xqt.Item
+}
+
+// boundVar is one generated external declaration: the prolog text of
+// the declaration, the binding (nil = deliberately unbound), and a
+// condition builder over the variable. use(ctx, pfx) instantiates the
+// condition for a context: in a predicate ctx is "." and pfx is "",
+// in a where clause over $x they are "$x" and "$x/".
+type boundVar struct {
+	decl string
+	bind []xqt.Item
+	use  func(ctx, pfx string) string
+}
+
+// extVar generates one external declaration for the variable named v,
+// covering the type × default × bound/unbound axes of the prepared-
+// query surface.
+func (g *Gen) extVar(v string) boundVar {
+	switch g.rng.Intn(6) {
+	case 0: // int threshold
+		return boundVar{
+			decl: fmt.Sprintf("declare variable $%s external;", v),
+			bind: []xqt.Item{xqt.Int(int64(g.rng.Intn(60)))},
+			use: func(ctx, pfx string) string {
+				return fmt.Sprintf("number(%s) > $%s", ctx, v)
+			},
+		}
+	case 1: // float threshold with a default, bound half the time
+		b := []xqt.Item{xqt.Double(float64(g.rng.Intn(400)) / 4)}
+		if g.rng.Intn(2) == 0 {
+			b = nil
+		}
+		return boundVar{
+			decl: fmt.Sprintf("declare variable $%s external := %d.5;", v, g.rng.Intn(40)),
+			bind: b,
+			use: func(ctx, pfx string) string {
+				return fmt.Sprintf("number(%s) <= $%s", ctx, v)
+			},
+		}
+	case 2: // attribute string match
+		attr := g.pick(attrs)
+		return boundVar{
+			decl: fmt.Sprintf("declare variable $%s external;", v),
+			bind: []xqt.Item{xqt.Str(fmt.Sprintf("%s%d", g.pick([]string{"person", "item", "open_auction", "category"}), g.rng.Intn(12)))},
+			use: func(ctx, pfx string) string {
+				return fmt.Sprintf("%s@%s = $%s", pfx, attr, v)
+			},
+		}
+	case 3: // string sequence binding: existential general comparison
+		n := 2 + g.rng.Intn(3)
+		seq := make([]xqt.Item, n)
+		for i := range seq {
+			seq[i] = xqt.Str(fmt.Sprintf("person%d", g.rng.Intn(20)))
+		}
+		return boundVar{
+			decl: fmt.Sprintf("declare variable $%s external;", v),
+			bind: seq,
+			use: func(ctx, pfx string) string {
+				return fmt.Sprintf("%s@id = $%s", pfx, v)
+			},
+		}
+	case 4: // boolean switch
+		return boundVar{
+			decl: fmt.Sprintf("declare variable $%s external := true();", v),
+			bind: []xqt.Item{xqt.Bool(g.rng.Intn(2) == 0)},
+			use: func(ctx, pfx string) string {
+				return "$" + v
+			},
+		}
+	default: // int sequence: membership over child counts
+		n := 1 + g.rng.Intn(3)
+		seq := make([]xqt.Item, n)
+		for i := range seq {
+			seq[i] = xqt.Int(int64(g.rng.Intn(5)))
+		}
+		return boundVar{
+			decl: fmt.Sprintf("declare variable $%s external;", v),
+			bind: seq,
+			use: func(ctx, pfx string) string {
+				return fmt.Sprintf("count(%s*) = $%s", pfx, v)
+			},
+		}
+	}
+}
+
+// BoundQuery emits one random parameterized query with 1–2 external
+// variables and typed bindings, exercising the prepared-statement path
+// of every engine.
+func (g *Gen) BoundQuery() BoundQuery {
+	v1 := g.extVar("v1")
+	decls := v1.decl
+	binds := map[string][]xqt.Item{}
+	if v1.bind != nil {
+		binds["v1"] = v1.bind
+	}
+	var body string
+	switch g.rng.Intn(5) {
+	case 0:
+		body = fmt.Sprintf("%s[%s]", g.Path(), v1.use(".", ""))
+	case 1:
+		body = fmt.Sprintf("count(%s[%s])", g.Path(), v1.use(".", ""))
+	case 2: // second variable in the return expression
+		v2 := g.extVar("v2")
+		decls += " " + v2.decl
+		if v2.bind != nil {
+			binds["v2"] = v2.bind
+		}
+		body = fmt.Sprintf(`for $x in %s where %s return <r v="{$v2}">{%s}</r>`,
+			g.Path(), v1.use("$x", "$x/"), g.ret("x"))
+	case 3: // external variable referenced inside a UDF body (prolog
+		// variables must be in scope in function bodies on every engine)
+		decls += fmt.Sprintf(" declare function local:flt($s) { $s[%s] };", v1.use(".", ""))
+		body = fmt.Sprintf("count(local:flt(%s))", g.Path())
+	default: // FLWOR with the variable in the where clause
+		body = fmt.Sprintf("for $x in %s where %s return %s",
+			g.Path(), v1.use("$x", "$x/"), g.ret("x"))
+	}
+	return BoundQuery{Query: decls + " " + body, Binds: binds}
 }
 
 // Query emits one random query.

@@ -1,0 +1,44 @@
+package ralg
+
+import "mxq/internal/xqt"
+
+// Typed binding constructors: each materializes an external variable
+// binding as a uniform ItemVec in one slice assignment, without boxing
+// values through xqt.Item. These are the fast paths of the prepared-
+// query API (core.Prepared / mxq.Stmt); BindItems is the generic path
+// for mixed or node sequences.
+//
+// The payload slices are adopted, not copied — callers must not mutate
+// them after binding (vectors are immutable once built).
+
+// BindInts builds an xs:integer sequence binding.
+func BindInts(vs ...int64) ItemVec {
+	return ItemVec{Tag: xqt.KInt, n: len(vs), I: vs}
+}
+
+// BindFloats builds an xs:double sequence binding.
+func BindFloats(vs ...float64) ItemVec {
+	return ItemVec{Tag: xqt.KDouble, n: len(vs), F: vs}
+}
+
+// BindStrings builds an xs:string sequence binding.
+func BindStrings(vs ...string) ItemVec {
+	return ItemVec{Tag: xqt.KString, n: len(vs), S: vs}
+}
+
+// BindBools builds an xs:boolean sequence binding.
+func BindBools(vs ...bool) ItemVec {
+	iv := make([]int64, len(vs))
+	for i, b := range vs {
+		if b {
+			iv[i] = 1
+		}
+	}
+	return ItemVec{Tag: xqt.KBool, n: len(vs), I: iv}
+}
+
+// BindItems builds a binding from arbitrary items (node sequences,
+// mixed-kind sequences); uniform inputs still produce a uniform vector.
+func BindItems(items ...xqt.Item) ItemVec {
+	return NewItemVec(items)
+}

@@ -33,17 +33,28 @@ type ExecStats struct {
 // failures the paper reports for Galax).
 const MaxRows = 64 << 20
 
+// Bindings is the binding environment of one plan execution: it maps
+// external variable names to their bound sequences, each materialized
+// as a typed item vector (see the Bind* constructors). ParamTable
+// leaves resolve against it, so the same immutable plan can run under
+// any number of binding environments concurrently.
+type Bindings map[string]ItemVec
+
 // Exec evaluates plan DAGs against a container pool. Shared sub-plans are
 // evaluated once and their results re-used. Setting Par enables
 // intra-query parallel operator execution (see parallel.go); the output
 // is identical to serial execution either way. One Exec evaluates one
 // query; concurrent queries each get their own Exec (and their own
 // transient container), sharing only the read-only document containers.
+// ContextDoc names the document ContextRoot leaves (absolute paths)
+// resolve to; Bindings supplies the values of ParamTable leaves.
 type Exec struct {
-	Pool      *store.Pool
-	Transient *store.Container
-	Stats     ExecStats
-	Par       ParOptions
+	Pool       *store.Pool
+	Transient  *store.Container
+	Stats      ExecStats
+	Par        ParOptions
+	ContextDoc string
+	Bindings   Bindings
 
 	memo map[Plan]*Table
 }
@@ -85,6 +96,10 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 		return n.Tab, nil
 	case *DocRoot:
 		return e.execDocRoot(n)
+	case *ContextRoot:
+		return e.execContextRoot()
+	case *ParamTable:
+		return e.execParam(n)
 	case *CollectionRoot:
 		return e.execCollectionRoot(n)
 	case *Fail:
@@ -210,6 +225,43 @@ func (e *Exec) execDocRoot(n *DocRoot) (*Table, error) {
 	t.N = 1
 	t.Col("pos").Int = []int64{1}
 	t.Col("item").Item = ItemsOf(xqt.Node(c.ID, 0))
+	return t, nil
+}
+
+// execContextRoot resolves the context document of absolute paths at
+// execution time (a plan input, not a compile-time constant).
+func (e *Exec) execContextRoot() (*Table, error) {
+	if e.ContextDoc == "" {
+		return nil, fmt.Errorf("xquery error XPDY0002: absolute path but no context document")
+	}
+	c, ok := e.Pool.ByName(e.ContextDoc)
+	if !ok {
+		return nil, fmt.Errorf("xquery error FODC0002: context document %q not loaded", e.ContextDoc)
+	}
+	t := NewTable([]string{"pos", "item"}, []ColKind{KInt, KItem})
+	t.N = 1
+	t.Col("pos").Int = []int64{1}
+	t.Col("item").Item = ItemsOf(xqt.Node(c.ID, 0))
+	return t, nil
+}
+
+// execParam materializes one external variable binding as its (pos,
+// item) table. The item vector is shared with the binding environment
+// (vectors are immutable once built), so binding N values costs O(N)
+// pos integers and nothing else.
+func (e *Exec) execParam(n *ParamTable) (*Table, error) {
+	v, ok := e.Bindings[n.Var]
+	if !ok {
+		return nil, fmt.Errorf("xquery error XPDY0002: no value bound for external variable $%s", n.Var)
+	}
+	t := NewTable([]string{"pos", "item"}, []ColKind{KInt, KItem})
+	t.N = v.Len()
+	pc := t.Col("pos")
+	pc.Int = make([]int64, v.Len())
+	for i := range pc.Int {
+		pc.Int[i] = int64(i) + 1
+	}
+	t.Col("item").Item = v
 	return t, nil
 }
 

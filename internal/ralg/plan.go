@@ -90,6 +90,32 @@ type DocRoot struct {
 // Name implements Plan.
 func (*DocRoot) Name() string { return "docroot" }
 
+// ContextRoot produces the single-row table (pos=1, item=root node) of
+// the context document of absolute paths. Unlike DocRoot, the document
+// is not named in the plan: it is resolved from Exec.ContextDoc at
+// execution time, so one cached plan serves any context document (and
+// SetContextDocument can never be shadowed by a stale cache entry).
+type ContextRoot struct {
+	nullary
+}
+
+// Name implements Plan.
+func (*ContextRoot) Name() string { return "ctxroot" }
+
+// ParamTable is the parameterized leaf of a prepared query: it produces
+// the (pos, item) table of the external variable binding named Name,
+// resolved from Exec.Bindings at execution time. The compiler crosses
+// it with the loop relation of the referencing scope (a single
+// iteration at the query root, replicated under loop-lifting), so one
+// physical plan serves every binding.
+type ParamTable struct {
+	nullary
+	Var string
+}
+
+// Name implements Plan.
+func (p *ParamTable) Name() string { return "param($" + p.Var + ")" }
+
 // CollectionRoot produces the (pos, item) table of a sharded collection's
 // document root nodes, in collection document order: one row per
 // document, pos = 1..N, items ordered by (shard container id, pre). Each

@@ -46,27 +46,102 @@ func DefaultOptions() Options {
 
 // Compiler compiles one parsed module.
 type Compiler struct {
-	opts       Options
-	defaultDoc string
-	funcs      map[string]*xqp.FuncDecl
-	inlining   map[string]bool // UDFs on the inline stack (recursion guard)
+	opts     Options
+	funcs    map[string]*xqp.FuncDecl
+	inlining map[string]bool // UDFs on the inline stack (recursion guard)
+
+	// prolog variable declarations: every reference to a prolog
+	// variable compiles to a ParamTable leaf resolved from the binding
+	// environment at execution time. declLimit enforces declaration
+	// order — a declaration's init expression may only reference
+	// declarations before it (XPST0008 otherwise).
+	prologIdx map[string]int // name -> declaration index
+	declLimit int
+}
+
+// Param describes one prolog variable of a compiled query, in
+// declaration order. Init is the compiled plan of the declaration's
+// init/default expression; for an external declaration it may be nil
+// (a required parameter — executing without a binding is XPDY0002).
+// Non-external declarations (global lets) are evaluated from Init at
+// the start of every execution, mirroring the naive interpreter's
+// eager prolog evaluation. Singleton records that an external's
+// default expression is statically a single item, making multi-item
+// bindings the type error XPTY0004.
+type Param struct {
+	Name      string
+	External  bool
+	Init      ralg.Plan
+	Singleton bool
+}
+
+// Compiled is the result of compiling one module: the main physical
+// plan plus the prolog parameters to materialize before running it.
+// The plan contains a ParamTable leaf per prolog variable reference
+// and a ContextRoot leaf per absolute path, so it is independent of
+// the bindings and of the engine's current context document — one
+// Compiled serves every (bindings, context document) pair.
+type Compiled struct {
+	Plan   ralg.Plan
+	Params []Param
 }
 
 // Compile compiles a module to a physical plan whose result table is the
 // iter|pos|item encoding of the query result (a single iteration).
-// defaultDoc names the context document of absolute paths.
-func Compile(m *xqp.Module, defaultDoc string, opts Options) (ralg.Plan, error) {
+func Compile(m *xqp.Module, opts Options) (*Compiled, error) {
 	c := &Compiler{
-		opts:       opts,
-		defaultDoc: defaultDoc,
-		funcs:      make(map[string]*xqp.FuncDecl),
-		inlining:   make(map[string]bool),
+		opts:      opts,
+		funcs:     make(map[string]*xqp.FuncDecl),
+		inlining:  make(map[string]bool),
+		prologIdx: make(map[string]int),
 	}
 	for _, f := range m.Funcs {
 		c.funcs[f.Name] = f
 	}
+	for i, d := range m.Vars {
+		c.prologIdx[d.Name] = i
+	}
+	out := &Compiled{}
+	// compile the init/default expressions in declaration order, each
+	// seeing only the declarations before it
+	for i, d := range m.Vars {
+		prm := Param{Name: d.Name, External: d.External}
+		if d.Init != nil {
+			c.declLimit = i
+			sc := &scope{loop: litLoop1(), vars: map[string]*binding{}, loopVars: varset{}}
+			q, err := c.compile(d.Init, sc)
+			if err != nil {
+				return nil, err
+			}
+			prm.Init = q
+			prm.Singleton = d.External && xqp.StaticSingleton(d.Init)
+		}
+		out.Params = append(out.Params, prm)
+	}
+	c.declLimit = len(m.Vars)
 	sc := &scope{loop: litLoop1(), vars: map[string]*binding{}, loopVars: varset{}}
-	return c.compile(m.Body, sc)
+	body, err := c.compile(m.Body, sc)
+	if err != nil {
+		return nil, err
+	}
+	out.Plan = body
+	return out, nil
+}
+
+// prologVar resolves a variable reference against the prolog
+// declarations visible at the current declaration limit: the value —
+// an execution-time binding — is lifted over the referencing scope's
+// loop (a single iteration at the query root, replicated under
+// loop-lifting by the enclosing scope maps).
+func (c *Compiler) prologVar(name string, sc *scope) (ralg.Plan, bool) {
+	idx, ok := c.prologIdx[name]
+	if !ok || idx >= c.declLimit {
+		return nil, false
+	}
+	cross := &ralg.Cross{LCols: ralg.Refs("iter"), RCols: ralg.Refs("pos", "item")}
+	cross.SetInput(0, ralg.NewProject(sc.loop, "iter"))
+	cross.SetInput(1, &ralg.ParamTable{Var: name})
+	return cross, true
 }
 
 // varset is a set of for-variable names.
@@ -330,11 +405,13 @@ func (c *Compiler) compile(e xqp.Expr, sc *scope) (ralg.Plan, error) {
 	case *xqp.EmptySeq:
 		return emptySeq(), nil
 	case *xqp.VarRef:
-		b, ok := sc.vars[x.Name]
-		if !ok {
-			return nil, fmt.Errorf("xquery error XPST0008: undeclared variable $%s", x.Name)
+		if b, ok := sc.vars[x.Name]; ok {
+			return b.plan, nil
 		}
-		return b.plan, nil
+		if q, ok := c.prologVar(x.Name, sc); ok {
+			return q, nil
+		}
+		return nil, fmt.Errorf("xquery error XPST0008: undeclared variable $%s", x.Name)
 	case *xqp.ContextItem:
 		b, ok := sc.vars["."]
 		if !ok {

@@ -238,11 +238,14 @@ func (c *Compiler) tryJoinFor(cl xqp.Clause, where xqp.Expr, cur *scope, chainPl
 		return nil, nil, nil, false, nil
 	}
 
-	// compile E2 once, in a fresh single-iteration loop
+	// compile E2 once, in a fresh single-iteration loop. Compile errors
+	// in this speculative scope abandon the rewrite instead of failing
+	// the query: standardFor recompiles the clause in its natural scope
+	// and surfaces any genuine static error there.
 	baseScope := &scope{loop: litLoop1(), vars: map[string]*binding{}, loopVars: varset{}}
 	qb, err := c.compile(cl.Expr, baseScope)
 	if err != nil {
-		return nil, nil, nil, false, err
+		return nil, nil, nil, false, nil
 	}
 	numbered := ralg.NewRowNum(qb, "bid", []string{"iter", "pos"}, "")
 	if cl.Pos != "" {
@@ -257,11 +260,11 @@ func (c *Compiler) tryJoinFor(cl xqp.Clause, where xqp.Expr, cur *scope, chainPl
 	}
 	qv, err := c.compile(vSide, vScope)
 	if err != nil {
-		return nil, nil, nil, false, err
+		return nil, nil, nil, false, nil
 	}
 	qo, err := c.compile(oSide, cur)
 	if err != nil {
-		return nil, nil, nil, false, err
+		return nil, nil, nil, false, nil
 	}
 	// existential theta-join: (outer iter, binding id) pairs
 	join := &ralg.ExistJoin{

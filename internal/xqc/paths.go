@@ -78,13 +78,12 @@ func (c *Compiler) compilePath(p *xqp.Path, sc *scope) (ralg.Plan, error) {
 	steps := p.Steps
 	switch {
 	case p.Absolute:
-		if c.defaultDoc == "" {
-			return nil, fmt.Errorf("xqc: absolute path but no context document")
-		}
-		root := &ralg.DocRoot{Doc: c.defaultDoc}
+		// the context document is an execution-time plan input (resolved
+		// from Exec.ContextDoc), not a compile-time constant: one cached
+		// plan serves any context document
 		cross := &ralg.Cross{LCols: ralg.Refs("iter"), RCols: ralg.Refs("pos", "item")}
 		cross.SetInput(0, ralg.NewProject(sc.loop, "iter"))
-		cross.SetInput(1, root)
+		cross.SetInput(1, &ralg.ContextRoot{})
 		ctx = cross
 	case steps[0].Expr != nil:
 		q, err := c.compile(steps[0].Expr, sc)

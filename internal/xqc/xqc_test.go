@@ -16,11 +16,11 @@ func compilePlan(t *testing.T, q string, opts Options) ralg.Plan {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := Compile(m, "doc.xml", opts)
+	p, err := Compile(m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return p
+	return p.Plan
 }
 
 func countNodes(p ralg.Plan, pred func(ralg.Plan) bool) int {
@@ -140,7 +140,7 @@ func TestCompileErrors(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", q, err)
 		}
-		_, err = Compile(m, "", DefaultOptions())
+		_, err = Compile(m, DefaultOptions())
 		if err == nil {
 			t.Errorf("Compile(%q) succeeded, want error containing %q", q, frag)
 			continue

@@ -12,9 +12,11 @@ import "fmt"
 // Expr is an XQuery expression AST node.
 type Expr interface{ exprNode() }
 
-// Module is a parsed query: prolog function declarations plus the body.
+// Module is a parsed query: prolog function and variable declarations
+// plus the body.
 type Module struct {
 	Funcs []*FuncDecl
+	Vars  []*VarDecl
 	Body  Expr
 }
 
@@ -23,6 +25,22 @@ type FuncDecl struct {
 	Name   string
 	Params []string
 	Body   Expr
+}
+
+// VarDecl is a prolog variable declaration:
+//
+//	declare variable $x := Expr;           (global let)
+//	declare variable $x external;          (required query parameter)
+//	declare variable $x external := Expr;  (parameter with default)
+//
+// External declarations are the parameters of a prepared query: their
+// values are supplied as bindings at execution time, so one compiled
+// plan serves every binding. Init is nil for an external declaration
+// without a default.
+type VarDecl struct {
+	Name     string
+	External bool
+	Init     Expr
 }
 
 // LitKind discriminates literal kinds.
@@ -255,6 +273,32 @@ func (*Unary) exprNode()       {}
 func (*Path) exprNode()        {}
 func (*Call) exprNode()        {}
 func (*ElemCtor) exprNode()    {}
+
+// StaticSingleton reports whether e is statically known to evaluate to
+// exactly one item: literals, arithmetic/negation, and direct element
+// constructors. Both engines use this classification to type external
+// variable declarations: when a declaration's default expression is a
+// static singleton, binding a multi-item sequence to that variable is
+// the type error XPTY0004 (the declared parameter implies a single
+// item). The check is deliberately conservative — expressions whose
+// cardinality is only known at run time report false and accept any
+// binding.
+func StaticSingleton(e Expr) bool {
+	switch x := e.(type) {
+	case *Literal, *ElemCtor:
+		return true
+	case *Unary:
+		return StaticSingleton(x.X)
+	case *Binary:
+		switch x.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpIDiv, OpMod:
+			return StaticSingleton(x.L) && StaticSingleton(x.R)
+		}
+	case *Seq:
+		return len(x.Items) == 1 && StaticSingleton(x.Items[0])
+	}
+	return false
+}
 
 // PredIsPositional classifies a predicate expression as positional: a
 // statically numeric expression built from numeric literals, last(),

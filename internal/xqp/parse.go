@@ -7,7 +7,7 @@ import (
 )
 
 // Parse parses an XQuery main module: an optional prolog of function
-// declarations followed by the query body.
+// and variable declarations followed by the query body.
 func Parse(src string) (*Module, error) {
 	p := &parser{l: newLexer(src)}
 	m := &Module{}
@@ -19,11 +19,9 @@ func Parse(src string) (*Module, error) {
 		if tok.kind != tName || tok.text != "declare" {
 			break
 		}
-		fd, err := p.parseFuncDecl()
-		if err != nil {
+		if err := p.parseDecl(m); err != nil {
 			return nil, err
 		}
-		m.Funcs = append(m.Funcs, fd)
 	}
 	body, err := p.parseExpr()
 	if err != nil {
@@ -95,58 +93,71 @@ func (p *parser) aheadChar() byte {
 	return 0
 }
 
-func (p *parser) parseFuncDecl() (*FuncDecl, error) {
+// parseDecl parses one prolog declaration ("declare …;") into m.
+func (p *parser) parseDecl(m *Module) error {
 	if err := p.expectKw("declare"); err != nil {
-		return nil, err
+		return err
 	}
 	tok, err := p.l.next()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if tok.kind != tName {
-		return nil, p.l.errf(tok.pos, "expected prolog declaration, found %s", tok)
+		return p.l.errf(tok.pos, "expected prolog declaration, found %s", tok)
 	}
 	switch tok.text {
 	case "namespace":
 		// "declare namespace prefix = uri;" — accepted and ignored
 		if _, err := p.expect(tName, "namespace prefix"); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := p.expect(tEq, "="); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := p.expect(tString, "namespace URI"); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := p.expect(tSemi, ";"); err != nil {
-			return nil, err
+			return err
 		}
-		return p.parseFuncDecl()
+		return nil
+	case "variable":
+		vd, err := p.parseVarDecl()
+		if err != nil {
+			return err
+		}
+		for _, prev := range m.Vars {
+			if prev.Name == vd.Name {
+				return fmt.Errorf("xquery error XQST0049: variable $%s declared more than once", vd.Name)
+			}
+		}
+		m.Vars = append(m.Vars, vd)
+		return nil
 	case "function":
 		name, err := p.expect(tName, "function name")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := p.expect(tLParen, "("); err != nil {
-			return nil, err
+			return err
 		}
 		var params []string
 		for {
 			tok, err := p.l.peek()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if tok.kind == tRParen {
 				break
 			}
 			v, err := p.expect(tVar, "parameter variable")
 			if err != nil {
-				return nil, err
+				return err
 			}
 			params = append(params, v.text)
 			tok, err = p.l.peek()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if tok.kind == tComma {
 				p.l.next()
@@ -155,24 +166,57 @@ func (p *parser) parseFuncDecl() (*FuncDecl, error) {
 			break
 		}
 		if _, err := p.expect(tRParen, ")"); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := p.expect(tLBrace, "{"); err != nil {
-			return nil, err
+			return err
 		}
 		body, err := p.parseExpr()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := p.expect(tRBrace, "}"); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := p.expect(tSemi, ";"); err != nil {
+			return err
+		}
+		m.Funcs = append(m.Funcs, &FuncDecl{Name: name.text, Params: params, Body: body})
+		return nil
+	}
+	return p.l.errf(tok.pos, "unsupported prolog declaration %q", tok.text)
+}
+
+// parseVarDecl parses "variable $name [external] [:= Expr];" with the
+// leading "declare variable" already consumed.
+func (p *parser) parseVarDecl() (*VarDecl, error) {
+	v, err := p.expect(tVar, "variable name")
+	if err != nil {
+		return nil, err
+	}
+	vd := &VarDecl{Name: v.text}
+	if p.peekKw("external") {
+		p.l.next()
+		vd.External = true
+	}
+	tok, err := p.l.peek()
+	if err != nil {
+		return nil, err
+	}
+	if tok.kind == tAssign {
+		p.l.next()
+		init, err := p.parseExprSingle()
+		if err != nil {
 			return nil, err
 		}
-		return &FuncDecl{Name: name.text, Params: params, Body: body}, nil
+		vd.Init = init
+	} else if !vd.External {
+		return nil, p.l.errf(tok.pos, "expected := or \"external\" in variable declaration $%s", vd.Name)
 	}
-	return nil, p.l.errf(tok.pos, "unsupported prolog declaration %q", tok.text)
+	if _, err := p.expect(tSemi, ";"); err != nil {
+		return nil, err
+	}
+	return vd, nil
 }
 
 // parseExpr parses a comma-separated sequence expression.

@@ -320,3 +320,66 @@ func TestXMarkQ4ShapeParses(t *testing.T) {
 	return <history>{$b/reward/text()}</history>`
 	parse(t, src)
 }
+
+func TestVariableDeclarations(t *testing.T) {
+	m := parse(t, `declare variable $x external; declare variable $y := 1 + 2; declare variable $z external := "d"; $x`)
+	if len(m.Vars) != 3 {
+		t.Fatalf("got %d variable declarations, want 3", len(m.Vars))
+	}
+	x, y, z := m.Vars[0], m.Vars[1], m.Vars[2]
+	if x.Name != "x" || !x.External || x.Init != nil {
+		t.Errorf("$x: %+v, want external without default", x)
+	}
+	if y.Name != "y" || y.External || y.Init == nil {
+		t.Errorf("$y: %+v, want non-external with init", y)
+	}
+	if b, ok := y.Init.(*Binary); !ok || b.Op != OpAdd {
+		t.Errorf("$y init: %+v, want 1 + 2", y.Init)
+	}
+	if z.Name != "z" || !z.External || z.Init == nil {
+		t.Errorf("$z: %+v, want external with default", z)
+	}
+	if v, ok := m.Body.(*VarRef); !ok || v.Name != "x" {
+		t.Errorf("body: %+v, want $x", m.Body)
+	}
+}
+
+func TestVariableDeclarationMixedWithFunctions(t *testing.T) {
+	m := parse(t, `declare namespace p = "urn:x"; declare variable $n external; declare function local:f($a) { $a + $n }; local:f(1)`)
+	if len(m.Vars) != 1 || len(m.Funcs) != 1 {
+		t.Fatalf("got %d vars, %d funcs, want 1 and 1", len(m.Vars), len(m.Funcs))
+	}
+}
+
+func TestVariableDeclarationErrors(t *testing.T) {
+	cases := map[string]string{
+		`declare variable $x := 1; declare variable $x external; $x`: "XQST0049",
+		`declare variable $x; $x`:                                    "expected := or",
+		`declare variable $x external := ; $x`:                       "unexpected",
+	}
+	for src, frag := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", src, frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("Parse(%q) error %q does not mention %q", src, err, frag)
+		}
+	}
+}
+
+func TestStaticSingleton(t *testing.T) {
+	singleton := []string{`1`, `"s"`, `1.5`, `-2`, `1 + 2 * 3`, `<a/>`, `(7)`}
+	for _, src := range singleton {
+		if !StaticSingleton(parse(t, src).Body) {
+			t.Errorf("StaticSingleton(%s) = false, want true", src)
+		}
+	}
+	plural := []string{`(1, 2)`, `()`, `/a/b`, `1 to 5`, `count(/a)`, `$v`}
+	for _, src := range plural {
+		if StaticSingleton(parse(t, src).Body) {
+			t.Errorf("StaticSingleton(%s) = true, want false", src)
+		}
+	}
+}

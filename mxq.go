@@ -8,12 +8,31 @@
 // loop-lifted staircase joins; structural XML updates use the paged,
 // append-only rid|size|level scheme.
 //
+// The serving API is statement-centric: Prepare compiles a query once
+// into an immutable plan, and the resulting Stmt is executed any number
+// of times — concurrently, from any number of goroutines — with
+// per-execution values for the external variables declared in the
+// query prolog. Query/QueryString are thin wrappers over the same
+// compile path for one-shot use.
+//
 // Quick start:
 //
 //	db := mxq.Open()
 //	if err := db.LoadDocument("auction.xml", file); err != nil { ... }
-//	res, err := db.Query(`for $p in /site/people/person return $p/name/text()`)
+//
+//	// compile once …
+//	stmt, err := db.Prepare(`
+//	    declare variable $minprice external;
+//	    for $a in /site/closed_auctions/closed_auction
+//	    where number($a/price) >= $minprice
+//	    return $a/price/text()`)
+//
+//	// … execute many times, with different bindings, from any goroutine
+//	res, err := stmt.Bind("minprice", mxq.Int(40)).Exec()
 //	fmt.Println(res)
+//
+//	// one-shot queries share the compile path (and the plan cache)
+//	res, err = db.Query(`count(//item)`)
 package mxq
 
 import (
@@ -195,9 +214,13 @@ func (db *DB) LoadXMarkCollection(name string, ndocs, shards int, factor float64
 // Result is a query result sequence.
 type Result struct{ r *core.Result }
 
-// Query parses, compiles, optimizes and evaluates an XQuery expression.
-// Node items in the result stay valid for the lifetime of the Result:
-// each query pins its own snapshot of the loaded documents.
+// Query evaluates an XQuery expression: it prepares the query (one
+// compile per distinct query text, via the plan cache) and executes it
+// without bindings, so a query whose prolog declares a required
+// external variable fails with XPDY0002 — use Prepare and Bind for
+// parameterized queries. Node items in the result stay valid for the
+// lifetime of the Result: each execution pins its own snapshot of the
+// loaded documents.
 func (db *DB) Query(q string) (*Result, error) {
 	r, err := db.eng.Query(q)
 	if err != nil {

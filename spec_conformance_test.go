@@ -6,6 +6,7 @@ import (
 
 	"mxq"
 	"mxq/internal/naive"
+	"mxq/internal/xqt"
 )
 
 // The spec-conformance suite checks XPath/XQuery function semantics
@@ -261,4 +262,126 @@ func TestSpecConformanceDocCollection(t *testing.T) {
 	checkDocColl(t, "serial", order, serial.QueryString)
 	checkDocColl(t, "parallel", order, par.QueryString)
 	checkDocColl(t, "naive", order, oracle.QueryString)
+}
+
+// --- external variable / prepared statement error surface ----------------
+
+// The prepared-query error cases assert the static and dynamic error
+// codes of the external-variable surface (XQuery 1.0 §2.3 and F&O):
+// XPST0008 for undeclared references and undeclared binding names,
+// XQST0049 for duplicate declarations, XPDY0002 for executing with a
+// required external unbound, and XPTY0004 for binding a multi-item
+// sequence where the declaration's default implies a single item.
+// Every case runs on the serial relational engine, the forced-parallel
+// relational engine and the naive interpreter — all three must raise
+// the same code.
+var externalVarErrorCases = []struct {
+	name  string
+	query string
+	binds map[string][]xqt.Item
+	code  string
+}{
+	{"undeclared-variable", `$nope + 1`, nil, "XPST0008"},
+	{"undeclared-in-default", `declare variable $a external := $later; declare variable $later := 1; $a`, nil, "XPST0008"},
+	{"bind-undeclared-name", `declare variable $x external; $x`,
+		map[string][]xqt.Item{"x": {xqt.Int(1)}, "ghost": {xqt.Int(2)}}, "XPST0008"},
+	{"bind-non-external", `declare variable $g := 1; $g`,
+		map[string][]xqt.Item{"g": {xqt.Int(2)}}, "XPST0008"},
+	{"required-unbound", `declare variable $x external; $x`, nil, "XPDY0002"},
+	{"plural-bind-singleton-default", `declare variable $n external := 1; $n`,
+		map[string][]xqt.Item{"n": {xqt.Int(1), xqt.Int(2)}}, "XPTY0004"},
+	{"duplicate-declaration", `declare variable $x := 1; declare variable $x := 2; $x`, nil, "XQST0049"},
+	{"duplicate-external", `declare variable $x external; declare variable $x external; $x`, nil, "XQST0049"},
+}
+
+func TestExternalVarErrorsAllEngines(t *testing.T) {
+	serial := mxq.Open()
+	parallel := mxq.Open(mxq.WithWorkers(4), mxq.WithParallelThreshold(1))
+	for _, db := range []*mxq.DB{serial, parallel} {
+		if err := db.LoadDocumentString("spec.xml", specDoc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range externalVarErrorCases {
+		rb := relBindings(c.binds)
+		for label, run := range map[string]func() (string, error){
+			"serial":   func() (string, error) { return queryBound(serial, c.query, rb) },
+			"parallel": func() (string, error) { return queryBound(parallel, c.query, rb) },
+			"naive": func() (string, error) {
+				in := naive.New()
+				if err := in.LoadXML("spec.xml", strings.NewReader(specDoc)); err != nil {
+					return "", err
+				}
+				return in.QueryStringBound(c.query, naiveBindings(c.binds))
+			},
+		} {
+			got, err := run()
+			if err == nil {
+				t.Errorf("%s [%s]: %s returned %q, want error %s", c.name, label, c.query, got, c.code)
+				continue
+			}
+			if !strings.Contains(err.Error(), c.code) {
+				t.Errorf("%s [%s]: error %q does not carry %s", c.name, label, err, c.code)
+			}
+		}
+	}
+}
+
+// TestExternalVarPositiveAllEngines pins the non-error side of the
+// same surface: defaults apply when unbound, bindings override
+// defaults, globals see earlier declarations, and all three engines
+// serialize identically.
+func TestExternalVarPositiveAllEngines(t *testing.T) {
+	serial := mxq.Open()
+	parallel := mxq.Open(mxq.WithWorkers(4), mxq.WithParallelThreshold(1))
+	for _, db := range []*mxq.DB{serial, parallel} {
+		if err := db.LoadDocumentString("spec.xml", specDoc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name  string
+		query string
+		binds map[string][]xqt.Item
+		want  string
+	}{
+		{"default-applies", `declare variable $n external := 40; $n + 2`, nil, "42"},
+		{"binding-overrides-default", `declare variable $n external := 40; $n + 2`,
+			map[string][]xqt.Item{"n": {xqt.Int(0)}}, "2"},
+		{"global-chain", `declare variable $a := 2; declare variable $b := $a * 3; $b`, nil, "6"},
+		{"default-over-earlier-external", `declare variable $a external; declare variable $b external := $a + 1; $b`,
+			map[string][]xqt.Item{"a": {xqt.Int(9)}}, "10"},
+		{"sequence-binding", `declare variable $s external; sum($s)`,
+			map[string][]xqt.Item{"s": {xqt.Int(1), xqt.Double(0.5), xqt.Int(3)}}, "4.5"},
+		{"string-binding-in-path", `declare variable $tag external; count(/root//*[local-name(.) = $tag])`,
+			map[string][]xqt.Item{"tag": {xqt.Str("plain")}}, "1"},
+		{"bool-binding", `declare variable $flag external := false(); if ($flag) then "y" else "n"`,
+			map[string][]xqt.Item{"flag": {xqt.Bool(true)}}, "y"},
+		// prolog variables are in scope inside user-defined function
+		// bodies (regression: the naive oracle used to give UDFs a fresh
+		// scope holding only the parameters)
+		{"prolog-var-in-udf", `declare variable $x external := 7; declare function local:f() { $x }; local:f()`,
+			nil, "7"},
+		{"prolog-var-in-udf-bound", `declare variable $x external; declare function local:f($y) { $x + $y }; local:f(1)`,
+			map[string][]xqt.Item{"x": {xqt.Int(2)}}, "3"},
+	}
+	for _, c := range cases {
+		rb := relBindings(c.binds)
+		gotS, errS := queryBound(serial, c.query, rb)
+		gotP, errP := queryBound(parallel, c.query, rb)
+		in := naive.New()
+		if err := in.LoadXML("spec.xml", strings.NewReader(specDoc)); err != nil {
+			t.Fatal(err)
+		}
+		gotN, errN := in.QueryStringBound(c.query, naiveBindings(c.binds))
+		if errS != nil || errP != nil || errN != nil {
+			t.Errorf("%s: errors serial=%v parallel=%v naive=%v", c.name, errS, errP, errN)
+			continue
+		}
+		for label, got := range map[string]string{"serial": gotS, "parallel": gotP, "naive": gotN} {
+			if got != c.want {
+				t.Errorf("%s [%s]: got %q, want %q", c.name, label, got, c.want)
+			}
+		}
+	}
 }
