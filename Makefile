@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-ci fmt vet build test race race-cover bench bench-smoke fuzz-short cover
+.PHONY: check check-ci fmt vet build test race race-cover bench bench-smoke serve-smoke fuzz-short cover
 
 # check is the CI gate: formatting, vet, build, and the full test suite
 # under the race detector (the parallel executor must stay race-clean).
@@ -39,6 +39,20 @@ bench:
 # strictly cheaper than cold parse+compile+execute).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'PreparedVsCold' -benchtime 1x .
+
+# serve-smoke boots the mxqd daemon on a loopback port and drives the
+# example wire client through a full session against it (healthz,
+# prepare, typed binds, exec, close) — the end-to-end gate on the HTTP
+# serving layer. The client retries healthz, so no sleep race.
+serve-smoke:
+	$(GO) build -o mxqd.smoke ./cmd/mxqd
+	./mxqd.smoke -addr 127.0.0.1:18099 -xmark 0.002 & \
+	pid=$$!; \
+	$(GO) run ./examples/server -addr 127.0.0.1:18099; \
+	status=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -f mxqd.smoke; \
+	exit $$status
 
 # fuzz-short runs the seeded differential query generator (relational
 # serial + parallel vs the naive oracle, ~30s budget). MXQ_FUZZ_SEED

@@ -1,0 +1,118 @@
+// Command mxqd serves an mxq engine over HTTP: one-shot queries,
+// prepared statements with typed JSON binds, streamed XML results,
+// health and metrics endpoints. See docs/serving.md for the wire API.
+//
+// Typical invocations:
+//
+//	mxqd -addr :8080 -doc auction=auction.xml
+//	mxqd -addr :8080 -xmark 0.1 -parallel -timeout 10s
+//
+// Every query executes under the request context plus the effective
+// timeout, so client disconnects and deadlines cancel the executor
+// mid-operator without leaking goroutines; a panic from a malformed
+// plan is contained to a 500 on that request. SIGINT/SIGTERM drain
+// in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mxq"
+	"mxq/internal/serve"
+)
+
+// docFlags collects repeatable -doc name=path flags.
+type docFlags []string
+
+func (d *docFlags) String() string { return strings.Join(*d, ",") }
+func (d *docFlags) Set(s string) error {
+	if !strings.Contains(s, "=") {
+		return errors.New("want name=path")
+	}
+	*d = append(*d, s)
+	return nil
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		docs        docFlags
+		xmarkFactor = flag.Float64("xmark", 0, "load a generated XMark document at this scale factor (0 = off)")
+		xmarkSeed   = flag.Int64("xmark-seed", 42, "XMark generator seed")
+		parallel    = flag.Bool("parallel", false, "enable intra-query parallel execution")
+		workers     = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", serve.DefaultQueryTimeout, "default per-query timeout")
+		maxTimeout  = flag.Duration("max-timeout", serve.DefaultMaxTimeout, "cap on client-requested timeouts")
+		maxInflight = flag.Int("max-inflight", serve.DefaultMaxInflight, "max concurrently executing queries")
+		maxConns    = flag.Int("max-conns", 0, "max open client connections (0 = unlimited)")
+	)
+	flag.Var(&docs, "doc", "load an XML document, name=path (repeatable)")
+	flag.Parse()
+
+	var opts []mxq.Option
+	if *parallel {
+		opts = append(opts, mxq.WithParallel(true))
+	}
+	if *workers > 0 {
+		opts = append(opts, mxq.WithWorkers(*workers))
+	}
+	db := mxq.Open(opts...)
+	for _, d := range docs {
+		name, path, _ := strings.Cut(d, "=")
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("mxqd: %v", err)
+		}
+		err = db.LoadDocument(name, f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("mxqd: load %s: %v", name, err)
+		}
+		log.Printf("loaded document %q from %s", name, path)
+	}
+	if *xmarkFactor > 0 {
+		db.LoadXMark("xmark", *xmarkFactor, *xmarkSeed)
+		log.Printf("loaded generated XMark document (factor %g)", *xmarkFactor)
+	}
+
+	srv := serve.New(db, serve.Config{
+		MaxInflight:    *maxInflight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mxqd: %v", err)
+	}
+	if *maxConns > 0 {
+		ln = serve.LimitListener(ln, *maxConns)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		log.Printf("mxqd listening on %s", ln.Addr())
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("mxqd: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "mxqd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("mxqd: shutdown: %v", err)
+	}
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mxq"
+	"mxq/internal/serve"
+	"mxq/internal/xmark"
+)
+
+// serveMix is the statement set the load generator prepares over the
+// wire: the cheap XMark queries (the same mix the parallel experiment's
+// throughput section uses), so the run measures serving overhead and
+// concurrency rather than a single heavy plan.
+var serveMix = []int{1, 2, 5, 6, 13, 15, 17, 20}
+
+// serveExp measures the HTTP serving layer end to end: it starts an
+// in-process mxqd-style server on a loopback listener, prepares the
+// statement mix over the wire, then fans out concurrent wire clients
+// that execute the prepared statements round-robin. Every response body
+// is compared byte-for-byte against the in-process serialization, so
+// the run doubles as a differential check of the wire path under
+// concurrency. The client count is -clients, floored at 8.
+func serveExp(scales []float64) {
+	f := scales[len(scales)-1]
+	clients := *clientsFlag
+	if clients < 8 {
+		clients = 8
+	}
+	const rounds = 5
+
+	var opts []mxq.Option
+	if *parallelFlag {
+		opts = append(opts, mxq.WithParallel(true))
+		if *workersFlag > 0 {
+			opts = append(opts, mxq.WithWorkers(*workersFlag))
+		}
+	}
+	db := mxq.Open(opts...)
+	db.LoadXMark("auction.xml", f, *seedFlag)
+
+	srv := serve.New(db, serve.Config{MaxInflight: 2 * clients})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve error:", err)
+		return
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	fmt.Printf("\n== Serving (%s): %d wire clients x %d prepared statements x %d rounds ==\n",
+		mb(f), clients, len(serveMix), rounds)
+
+	// in-process reference serializations — what every wire response
+	// must equal byte-for-byte
+	want := make([][]byte, len(serveMix))
+	for i, q := range serveMix {
+		res, err := db.Query(xmark.Query(q))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: Q%d: %v\n", q, err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := res.SerializeXML(&buf); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: Q%d: %v\n", q, err)
+			return
+		}
+		want[i] = buf.Bytes()
+	}
+
+	// prepare the mix over the wire
+	ids := make([]string, len(serveMix))
+	for i, q := range serveMix {
+		id, err := wirePrepare(base, xmark.Query(q))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: prepare Q%d: %v\n", q, err)
+			return
+		}
+		ids[i] = id
+	}
+
+	// fan out: each client walks the statement mix round-robin from its
+	// own offset, so at any instant different statements execute
+	// concurrently against the shared engine
+	type clientStats struct {
+		lat  []time.Duration
+		errs int
+	}
+	stats := make([]clientStats, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			st := &stats[cl]
+			for r := 0; r < rounds; r++ {
+				for k := range serveMix {
+					i := (cl + r + k) % len(serveMix)
+					t0 := time.Now()
+					body, err := wireExec(base, ids[i])
+					st.lat = append(st.lat, time.Since(t0))
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "serve: client %d Q%d: %v\n", cl, serveMix[i], err)
+						st.errs++
+						continue
+					}
+					if !bytes.Equal(body, want[i]) {
+						fmt.Fprintf(os.Stderr, "serve: client %d Q%d: wire bytes differ from in-process result (%d vs %d bytes)\n",
+							cl, serveMix[i], len(body), len(want[i]))
+						st.errs++
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for i := range stats {
+		all = append(all, stats[i].lat...)
+		errs += stats[i].errs
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	total := len(all)
+	fmt.Printf("executions:    %d wire calls in %s (%.1f q/s)\n",
+		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds())
+	fmt.Printf("latency:       p50 %s  p95 %s  max %s\n",
+		pctl(all, 50).Round(time.Microsecond), pctl(all, 95).Round(time.Microsecond),
+		all[total-1].Round(time.Microsecond))
+	if errs == 0 {
+		fmt.Printf("differential:  all %d responses byte-identical to in-process results\n", total)
+	} else {
+		fmt.Printf("differential:  %d of %d responses FAILED\n", errs, total)
+	}
+}
+
+func pctl(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := p * len(sorted) / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func wirePrepare(base, query string) (string, error) {
+	body, _ := json.Marshal(map[string]string{"query": query})
+	resp, err := http.Post(base+"/prepare", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var pr struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		return "", err
+	}
+	return pr.ID, nil
+}
+
+func wireExec(base, id string) ([]byte, error) {
+	resp, err := http.Post(base+"/stmt/"+id+"/exec", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}

@@ -1,0 +1,125 @@
+// Wire client for the mxqd server: the prepared-statement session over
+// HTTP. It waits for the server's health probe, prepares a
+// parameterized query, introspects its external variables, executes it
+// with typed JSON binds, and releases the statement — the round trip
+// docs/serving.md documents, and the probe `make serve-smoke` drives.
+//
+// Start a server first, then point the client at it:
+//
+//	mxqd -addr 127.0.0.1:8080 -xmark 0.01
+//	go run ./examples/server -addr 127.0.0.1:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "mxqd address")
+	flag.Parse()
+	base := "http://" + *addr
+
+	// wait for liveness (lets this client double as a startup probe)
+	if err := waitHealthy(base, 10*time.Second); err != nil {
+		log.Fatalf("server not healthy: %v", err)
+	}
+	fmt.Println("healthz: ok")
+
+	// prepare once; the response lists the plan's external variables
+	var prep struct {
+		ID   string `json:"id"`
+		Vars []struct {
+			Name     string `json:"name"`
+			Required bool   `json:"required"`
+		} `json:"vars"`
+	}
+	if err := call("POST", base+"/prepare", map[string]any{
+		"query": `declare variable $min external;
+			for $a in /site/open_auctions/open_auction
+			where number($a/initial) >= $min
+			return $a/initial/text()`,
+	}, &prep); err != nil {
+		log.Fatalf("prepare: %v", err)
+	}
+	fmt.Printf("prepared %s, vars:", prep.ID)
+	for _, v := range prep.Vars {
+		fmt.Printf(" $%s(required=%v)", v.Name, v.Required)
+	}
+	fmt.Println()
+
+	// execute the same plan with two different typed binds
+	for _, min := range []float64{1, 100} {
+		body, err := rawCall("POST", base+"/stmt/"+prep.ID+"/exec", map[string]any{
+			"binds":      map[string]any{"min": min},
+			"timeout_ms": 5000,
+		})
+		if err != nil {
+			log.Fatalf("exec min=%g: %v", min, err)
+		}
+		fmt.Printf("min=%-3g -> %d bytes of XML\n", min, len(body))
+	}
+
+	// release the statement
+	req, _ := http.NewRequest("DELETE", base+"/stmt/"+prep.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusNoContent {
+		log.Fatalf("close: %v (status %v)", err, resp.Status)
+	}
+	resp.Body.Close()
+	fmt.Printf("closed %s\n", prep.ID)
+}
+
+func waitHealthy(base string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("status %s", resp.Status)
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// rawCall POSTs a JSON body and returns the raw response body,
+// converting non-2xx statuses (the server's JSON error envelope) into
+// errors.
+func rawCall(method, url string, in any) ([]byte, error) {
+	payload, _ := json.Marshal(in)
+	req, _ := http.NewRequest(method, url, bytes.NewReader(payload))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+func call(method, url string, in, out any) error {
+	body, err := rawCall(method, url, in)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, out)
+}

@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -324,11 +325,28 @@ func (e *Engine) compile(q string) (*xqc.Compiled, error) {
 // the Result: constructed nodes live in a per-query transient
 // container owned by the result's pool snapshot.
 func (e *Engine) Query(q string) (*Result, error) {
+	return e.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query under a context: compilation happens up front,
+// then execution runs with the cancellation behavior of
+// Prepared.ExecuteContext.
+func (e *Engine) QueryContext(ctx context.Context, q string) (*Result, error) {
 	p, err := e.Prepare(q)
 	if err != nil {
 		return nil, err
 	}
-	return p.Execute(nil)
+	return p.ExecuteContext(ctx, nil)
+}
+
+// CacheStats reports plan-cache effectiveness: hits and misses since
+// the engine was created, and the current number of cached plans. All
+// zeros when plan caching is disabled.
+func (e *Engine) CacheStats() (hits, misses int64, size int) {
+	if e.cache == nil {
+		return 0, 0, 0
+	}
+	return e.cache.hits.Load(), e.cache.misses.Load(), e.cache.len()
 }
 
 // LastStats returns the executor counters of the most recent Query.

@@ -3,6 +3,7 @@ package core
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"mxq/internal/xqc"
 )
@@ -20,6 +21,9 @@ const DefaultPlanCacheSize = 256
 // executed by any number of concurrent queries; each execution keeps
 // its own memo table and transient container.
 type planCache struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+
 	mu  sync.Mutex
 	cap int
 	m   map[string]*list.Element
@@ -43,8 +47,10 @@ func (c *planCache) get(key string) (*xqc.Compiled, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
+		c.misses.Add(1)
 		return nil, false
 	}
+	c.hits.Add(1)
 	c.lru.MoveToFront(el)
 	return el.Value.(*planEntry).plan, true
 }

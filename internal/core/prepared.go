@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mxq/internal/ralg"
 	"mxq/internal/store"
 	"mxq/internal/xqc"
+	"mxq/internal/xqerr"
 )
 
 // Bindings maps external variable names (declared in the query prolog
@@ -79,9 +81,35 @@ func (p *Prepared) Vars() []VarInfo {
 // prolog variables — are evaluated per execution, in declaration
 // order, against the same document snapshot as the main plan.
 func (p *Prepared) Execute(b Bindings) (*Result, error) {
+	return p.ExecuteContext(context.Background(), b)
+}
+
+// ExecuteContext is Execute under a context: when ctx carries a
+// deadline or is cancelled mid-execution, the executor's operators
+// abandon their work at the next checkpoint, all parallel workers
+// drain (the worker pool is a fork-join barrier), and the call returns
+// ctx.Err() — never a partial result. A nil ctx behaves like
+// context.Background().
+func (p *Prepared) ExecuteContext(ctx context.Context, b Bindings) (res *Result, err error) {
+	// The executor trusts its plans: a malformed plan (or an executor
+	// bug) panics rather than corrupting results. Contain such panics
+	// here — the execution boundary every API path funnels through — so
+	// one bad query cannot take down a server embedding the engine.
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("mxq: internal error evaluating query %q: %v", p.query, r)
+		}
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for name := range b {
 		if !p.declaresExternal(name) {
-			return nil, fmt.Errorf("xquery error XPST0008: no external variable $%s declared", name)
+			return nil, xqerr.Newf("XPST0008", "no external variable $%s declared", name)
 		}
 	}
 	e := p.eng
@@ -94,6 +122,7 @@ func (p *Prepared) Execute(b Bindings) (*Result, error) {
 	ex := ralg.NewExec(qp, transient)
 	ex.Par = e.parOptions()
 	ex.ContextDoc = doc
+	ex.Ctx = ctx
 	env := make(ralg.Bindings, len(p.cq.Params))
 	ex.Bindings = env
 	for i := range p.cq.Params {
@@ -101,13 +130,13 @@ func (p *Prepared) Execute(b Bindings) (*Result, error) {
 		if prm.External {
 			if v, ok := b[prm.Name]; ok {
 				if prm.Singleton && v.Len() > 1 {
-					return nil, fmt.Errorf("xquery error XPTY0004: external variable $%s expects a single item (its default is one) but is bound to %d items", prm.Name, v.Len())
+					return nil, xqerr.Newf("XPTY0004", "external variable $%s expects a single item (its default is one) but is bound to %d items", prm.Name, v.Len())
 				}
 				env[prm.Name] = v
 				continue
 			}
 			if prm.Init == nil {
-				return nil, fmt.Errorf("xquery error XPDY0002: no value bound for external variable $%s", prm.Name)
+				return nil, xqerr.Newf("XPDY0002", "no value bound for external variable $%s", prm.Name)
 			}
 		}
 		tab, err := ex.Run(prm.Init)

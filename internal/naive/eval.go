@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"mxq/internal/store"
+	"mxq/internal/xqerr"
 	"mxq/internal/xqp"
 	"mxq/internal/xqt"
 )
@@ -115,7 +116,7 @@ func (in *Interp) QueryBound(q string, binds map[string][]Val) ([]Val, error) {
 			}
 		}
 		if !declared {
-			return nil, fmt.Errorf("xquery error XPST0008: no external variable $%s declared", name)
+			return nil, xqerr.Newf("XPST0008", "no external variable $%s declared", name)
 		}
 	}
 	env := &scope{vars: make(map[string][]Val)}
@@ -128,13 +129,13 @@ func (in *Interp) QueryBound(q string, binds map[string][]Val) ([]Val, error) {
 		if d.External {
 			if vals, ok := binds[d.Name]; ok {
 				if d.Init != nil && xqp.StaticSingleton(d.Init) && len(vals) > 1 {
-					return nil, fmt.Errorf("xquery error XPTY0004: external variable $%s expects a single item (its default is one) but is bound to %d items", d.Name, len(vals))
+					return nil, xqerr.Newf("XPTY0004", "external variable $%s expects a single item (its default is one) but is bound to %d items", d.Name, len(vals))
 				}
 				env.vars[d.Name] = vals
 				continue
 			}
 			if d.Init == nil {
-				return nil, fmt.Errorf("xquery error XPDY0002: no value bound for external variable $%s", d.Name)
+				return nil, xqerr.Newf("XPDY0002", "no value bound for external variable $%s", d.Name)
 			}
 		}
 		v, err := in.eval(d.Init, env)
@@ -196,12 +197,12 @@ func (in *Interp) eval(e xqp.Expr, env *scope) ([]Val, error) {
 	case *xqp.VarRef:
 		v, ok := env.vars[x.Name]
 		if !ok {
-			return nil, fmt.Errorf("xquery error XPST0008: undeclared variable $%s", x.Name)
+			return nil, xqerr.Newf("XPST0008", "undeclared variable $%s", x.Name)
 		}
 		return v, nil
 	case *xqp.ContextItem:
 		if env.ctxItem == nil {
-			return nil, fmt.Errorf("xquery error XPDY0002: no context item")
+			return nil, xqerr.Newf("XPDY0002", "no context item")
 		}
 		return []Val{*env.ctxItem}, nil
 	case *xqp.EmptySeq:
@@ -270,7 +271,7 @@ func ebv(seq []Val) (bool, error) {
 		return true, nil
 	}
 	if len(seq) > 1 {
-		return false, fmt.Errorf("xquery error FORG0006: effective boolean value of a sequence of %d atomic values", len(seq))
+		return false, xqerr.Newf("FORG0006", "effective boolean value of a sequence of %d atomic values", len(seq))
 	}
 	it := seq[0].Atom
 	switch it.K {
@@ -360,7 +361,7 @@ func (in *Interp) evalFLWOR(f *xqp.FLWOR, env *scope) ([]Val, error) {
 				case 1:
 					ks[i].keys = append(ks[i].keys, v[0].Atomize())
 				default:
-					return nil, fmt.Errorf("xquery error XPTY0004: order key is a sequence of %d items", len(v))
+					return nil, xqerr.Newf("XPTY0004", "order key is a sequence of %d items", len(v))
 				}
 			}
 		}
@@ -467,7 +468,7 @@ func (in *Interp) evalBinary(b *xqp.Binary, env *scope) ([]Val, error) {
 			return nil, nil
 		}
 		if len(l) > 1 || len(r) > 1 {
-			return nil, fmt.Errorf("xquery error XPTY0004: value comparison over sequences")
+			return nil, xqerr.Newf("XPTY0004", "value comparison over sequences")
 		}
 		op := map[xqp.BinOp]xqt.CmpOp{
 			xqp.OpValEq: xqt.CmpEq, xqp.OpValNe: xqt.CmpNe, xqp.OpValLt: xqt.CmpLt,
@@ -479,7 +480,7 @@ func (in *Interp) evalBinary(b *xqp.Binary, env *scope) ([]Val, error) {
 			return nil, nil
 		}
 		if len(l) > 1 || len(r) > 1 || !l[0].IsNode() || !r[0].IsNode() {
-			return nil, fmt.Errorf("xquery error XPTY0004: node comparison over non-singleton-node operands")
+			return nil, xqerr.Newf("XPTY0004", "node comparison over non-singleton-node operands")
 		}
 		var res bool
 		switch b.Op {
@@ -511,7 +512,7 @@ func (in *Interp) evalBinary(b *xqp.Binary, env *scope) ([]Val, error) {
 		all := append(append([]Val{}, l...), r...)
 		for _, v := range all {
 			if !v.IsNode() {
-				return nil, fmt.Errorf("xquery error XPTY0004: union over non-nodes")
+				return nil, xqerr.Newf("XPTY0004", "union over non-nodes")
 			}
 		}
 		return sortAndDedup(all), nil
@@ -587,7 +588,7 @@ func (in *Interp) evalPath(p *xqp.Path, env *scope) ([]Val, error) {
 			cur = v
 		} else {
 			if env.ctxItem == nil {
-				return nil, fmt.Errorf("xquery error XPDY0002: relative path with no context item")
+				return nil, xqerr.Newf("XPDY0002", "relative path with no context item")
 			}
 			v, err := in.axisStep([]Val{*env.ctxItem}, s, env)
 			if err != nil {
@@ -615,7 +616,7 @@ func (in *Interp) axisStep(ctx []Val, s xqp.Step, env *scope) ([]Val, error) {
 	var out []Val
 	for _, c := range ctx {
 		if !c.IsNode() {
-			return nil, fmt.Errorf("xquery error XPTY0019: path step applied to an atomic value")
+			return nil, xqerr.Newf("XPTY0019", "path step applied to an atomic value")
 		}
 		res := stepFrom(c, s.Axis, s.Test)
 		res, err := in.applyPreds(res, s.Preds, env)

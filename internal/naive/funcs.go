@@ -7,6 +7,7 @@ import (
 	"unicode/utf8"
 
 	"mxq/internal/store"
+	"mxq/internal/xqerr"
 	"mxq/internal/xqp"
 	"mxq/internal/xqt"
 )
@@ -17,7 +18,7 @@ const maxUDFDepth = 512
 func (in *Interp) evalCall(c *xqp.Call, env *scope) ([]Val, error) {
 	if f, ok := in.funcs[c.Name]; ok {
 		if len(c.Args) != len(f.Params) {
-			return nil, fmt.Errorf("xquery error XPST0017: %s expects %d arguments", c.Name, len(f.Params))
+			return nil, xqerr.Newf("XPST0017", "%s expects %d arguments", c.Name, len(f.Params))
 		}
 		if in.depth >= maxUDFDepth {
 			return nil, fmt.Errorf("naive: user function recursion deeper than %d", maxUDFDepth)
@@ -185,17 +186,17 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 		return out, nil
 	case "zero-or-one":
 		if len(args[0]) > 1 {
-			return nil, fmt.Errorf("xquery error FORG0003: zero-or-one applied to a sequence of %d items", len(args[0]))
+			return nil, xqerr.Newf("FORG0003", "zero-or-one applied to a sequence of %d items", len(args[0]))
 		}
 		return args[0], nil
 	case "exactly-one":
 		if len(args[0]) != 1 {
-			return nil, fmt.Errorf("xquery error FORG0005: exactly-one applied to a sequence of %d items", len(args[0]))
+			return nil, xqerr.Newf("FORG0005", "exactly-one applied to a sequence of %d items", len(args[0]))
 		}
 		return args[0], nil
 	case "one-or-more":
 		if len(args[0]) == 0 {
-			return nil, fmt.Errorf("xquery error FORG0004: one-or-more applied to an empty sequence")
+			return nil, xqerr.Newf("FORG0004", "one-or-more applied to an empty sequence")
 		}
 		return args[0], nil
 	case "name", "local-name":
@@ -210,7 +211,7 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 		case v.Node != nil:
 			qn = v.Node.Name
 		default:
-			return nil, fmt.Errorf("xquery error XPTY0004: name() of a non-node")
+			return nil, xqerr.Newf("XPTY0004", "name() of a non-node")
 		}
 		if name == "local-name" {
 			qn = xqt.LocalName(qn)
@@ -218,10 +219,10 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 		return []Val{atomVal(xqt.Str(qn))}, nil
 	case "doc":
 		if len(args) != 1 {
-			return nil, fmt.Errorf("xquery error XPST0017: doc expects 1 argument")
+			return nil, xqerr.Newf("XPST0017", "doc expects 1 argument")
 		}
 		if len(args[0]) > 1 {
-			return nil, fmt.Errorf("xquery error XPTY0004: doc() argument is a sequence of %d items", len(args[0]))
+			return nil, xqerr.Newf("XPTY0004", "doc() argument is a sequence of %d items", len(args[0]))
 		}
 		it, ok := single(args, 0)
 		if !ok {
@@ -229,15 +230,15 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 		}
 		root, ok := in.docs[it.AsString()]
 		if !ok {
-			return nil, fmt.Errorf("xquery error FODC0002: document %q not loaded", it.AsString())
+			return nil, xqerr.Newf("FODC0002", "document %q not loaded", it.AsString())
 		}
 		return []Val{{Node: root}}, nil
 	case "collection":
 		if len(args) != 1 {
-			return nil, fmt.Errorf("xquery error XPST0017: collection expects 1 argument")
+			return nil, xqerr.Newf("XPST0017", "collection expects 1 argument")
 		}
 		if len(args[0]) > 1 {
-			return nil, fmt.Errorf("xquery error XPTY0004: collection() argument is a sequence of %d items", len(args[0]))
+			return nil, xqerr.Newf("XPTY0004", "collection() argument is a sequence of %d items", len(args[0]))
 		}
 		it, ok := single(args, 0)
 		if !ok {
@@ -245,7 +246,7 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 		}
 		roots, ok := in.collections[it.AsString()]
 		if !ok {
-			return nil, fmt.Errorf("xquery error FODC0004: collection %q not available", it.AsString())
+			return nil, xqerr.Newf("FODC0004", "collection %q not available", it.AsString())
 		}
 		out := make([]Val, len(roots))
 		for i, r := range roots {
@@ -254,16 +255,16 @@ func (in *Interp) callBuiltin(name string, args [][]Val, env *scope) ([]Val, err
 		return out, nil
 	case "last":
 		if env.ctxItem == nil {
-			return nil, fmt.Errorf("xquery error XPDY0002: last() outside a predicate")
+			return nil, xqerr.Newf("XPDY0002", "last() outside a predicate")
 		}
 		return []Val{atomVal(xqt.Int(int64(env.ctxSize)))}, nil
 	case "position":
 		if env.ctxItem == nil {
-			return nil, fmt.Errorf("xquery error XPDY0002: position() outside a predicate")
+			return nil, xqerr.Newf("XPDY0002", "position() outside a predicate")
 		}
 		return []Val{atomVal(xqt.Int(int64(env.ctxPos)))}, nil
 	}
-	return nil, fmt.Errorf("xquery error XPST0017: unknown function %s#%d", name, len(args))
+	return nil, xqerr.Newf("XPST0017", "unknown function %s#%d", name, len(args))
 }
 
 // valueKey normalizes an atom for distinct-values: numeric values compare
@@ -345,7 +346,7 @@ func (in *Interp) evalCtor(c *xqp.ElemCtor, env *scope) ([]Val, error) {
 				sawContent = true
 			case item.Owner != nil:
 				if sawContent || pendingText != "" {
-					return nil, fmt.Errorf("xquery error XQTY0024: attribute node after content in element constructor")
+					return nil, xqerr.Newf("XQTY0024", "attribute node after content in element constructor")
 				}
 				a := item.Owner.Attrs[item.AIdx]
 				elem.Attrs = append(elem.Attrs, Attr{Name: a.Name, Val: a.Val})

@@ -1,6 +1,7 @@
 package ralg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,7 @@ import (
 
 	"mxq/internal/scj"
 	"mxq/internal/store"
+	"mxq/internal/xqerr"
 	"mxq/internal/xqt"
 )
 
@@ -48,6 +50,16 @@ type Bindings map[string]ItemVec
 // transient container), sharing only the read-only document containers.
 // ContextDoc names the document ContextRoot leaves (absolute paths)
 // resolve to; Bindings supplies the values of ParamTable leaves.
+//
+// Ctx carries the execution's cancellation signal (deadline, client
+// disconnect): Run checks it between operators, and the long-running
+// operator loops — staircase-join steps, joins, Cartesian products,
+// aggregation, range generation and the parallel fill/gather paths —
+// poll it every few thousand rows and abandon their remaining work.
+// Partial outputs never escape: Run returns the context error before
+// memoizing a table produced under a cancelled context. A nil Ctx (the
+// default) disables all checks. Sorts run to completion (a cancelled
+// query still returns within one sort of its largest intermediate).
 type Exec struct {
 	Pool       *store.Pool
 	Transient  *store.Container
@@ -55,8 +67,10 @@ type Exec struct {
 	Par        ParOptions
 	ContextDoc string
 	Bindings   Bindings
+	Ctx        context.Context
 
 	memo map[Plan]*Table
+	done <-chan struct{} // Ctx.Done(), captured once at Run entry
 }
 
 // NewExec returns an executor over the given pool. Transient nodes
@@ -66,8 +80,18 @@ func NewExec(pool *store.Pool, transient *store.Container) *Exec {
 	return &Exec{Pool: pool, Transient: transient, memo: make(map[Plan]*Table)}
 }
 
-// Run evaluates the plan and returns its result table.
+// Run evaluates the plan and returns its result table. When Ctx is set
+// and expires mid-execution, Run returns the context error promptly —
+// never a partial result.
 func (e *Exec) Run(p Plan) (*Table, error) {
+	if e.Ctx != nil {
+		if e.done == nil {
+			e.done = e.Ctx.Done()
+		}
+		if err := e.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if t, ok := e.memo[p]; ok {
 		return t, nil
 	}
@@ -83,11 +107,44 @@ func (e *Exec) Run(p Plan) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// an operator that observed the cancellation may have stopped early
+	// with a partial table: surface the context error instead of
+	// memoizing it
+	if e.Ctx != nil {
+		if err := e.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if t.N > MaxRows {
 		return nil, fmt.Errorf("ralg: intermediate result of %s exceeds %d rows", p.Name(), MaxRows)
 	}
 	e.memo[p] = t
 	return t, nil
+}
+
+// stopRequested reports whether the execution's context has expired; it
+// is the cheap poll the operator loops amortize over a few thousand rows.
+// Safe to call from worker goroutines (it only reads the done channel).
+func (e *Exec) stopRequested() bool {
+	if e.done == nil {
+		return false
+	}
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// stopFunc returns the cancellation poll handed to the staircase-join
+// layer, or nil when the execution carries no context (so the scj fast
+// path stays branch-free).
+func (e *Exec) stopFunc() func() bool {
+	if e.Ctx == nil {
+		return nil
+	}
+	return e.stopRequested
 }
 
 func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
@@ -103,7 +160,7 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 	case *CollectionRoot:
 		return e.execCollectionRoot(n)
 	case *Fail:
-		return nil, fmt.Errorf("%s", n.Msg)
+		return nil, xqerr.Newf(n.Code, "%s", n.Msg)
 	case *Project:
 		return execProject(n, in[0])
 	case *Attach:
@@ -143,7 +200,7 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 	case *ColToItem:
 		return execColToItem(n, in[0]), nil
 	case *RangeGen:
-		return execRangeGen(n, in[0])
+		return e.execRangeGen(n, in[0])
 	case *CoverCheck:
 		return execCoverCheck(n, in[0], in[1])
 	}
@@ -174,12 +231,13 @@ func execColToItem(n *ColToItem, in *Table) *Table {
 	return out
 }
 
-func execRangeGen(n *RangeGen, in *Table) (*Table, error) {
+func (e *Exec) execRangeGen(n *RangeGen, in *Table) (*Table, error) {
 	iters := in.Ints(n.Iter)
 	lo := in.ItemVec(n.Lo)
 	hi := in.ItemVec(n.Hi)
 	out := NewTable([]string{"iter", "pos", "item"}, []ColKind{KInt, KInt, KItem})
 	ic, pc, tc := out.Col("iter"), out.Col("pos"), out.Col("item")
+	sinceCheck := 0
 	for i := range iters {
 		a := int64(lo.At(i).AsDouble())
 		b := int64(hi.At(i).AsDouble())
@@ -188,6 +246,13 @@ func execRangeGen(n *RangeGen, in *Table) (*Table, error) {
 		}
 		if b < a {
 			continue
+		}
+		sinceCheck += int(b-a) + 1
+		if sinceCheck >= 1<<16 {
+			sinceCheck = 0
+			if e.stopRequested() {
+				return nil, e.Ctx.Err()
+			}
 		}
 		base := tc.Item.growRows(xqt.KInt, int(b-a)+1)
 		pos := int64(1)
@@ -210,7 +275,7 @@ func execCoverCheck(n *CoverCheck, loop, in *Table) (*Table, error) {
 	}
 	for _, it := range loop.Ints(n.LoopIter) {
 		if !have[it] {
-			return nil, fmt.Errorf("xquery error FORG0005: %s applied to an empty sequence", n.Fn)
+			return nil, xqerr.Newf("FORG0005", "%s applied to an empty sequence", n.Fn)
 		}
 	}
 	return in, nil
@@ -219,7 +284,7 @@ func execCoverCheck(n *CoverCheck, loop, in *Table) (*Table, error) {
 func (e *Exec) execDocRoot(n *DocRoot) (*Table, error) {
 	c, ok := e.Pool.ByName(n.Doc)
 	if !ok {
-		return nil, fmt.Errorf("xquery error FODC0002: document %q not loaded", n.Doc)
+		return nil, xqerr.Newf("FODC0002", "document %q not loaded", n.Doc)
 	}
 	t := NewTable([]string{"pos", "item"}, []ColKind{KInt, KItem})
 	t.N = 1
@@ -232,11 +297,11 @@ func (e *Exec) execDocRoot(n *DocRoot) (*Table, error) {
 // execution time (a plan input, not a compile-time constant).
 func (e *Exec) execContextRoot() (*Table, error) {
 	if e.ContextDoc == "" {
-		return nil, fmt.Errorf("xquery error XPDY0002: absolute path but no context document")
+		return nil, xqerr.Newf("XPDY0002", "absolute path but no context document")
 	}
 	c, ok := e.Pool.ByName(e.ContextDoc)
 	if !ok {
-		return nil, fmt.Errorf("xquery error FODC0002: context document %q not loaded", e.ContextDoc)
+		return nil, xqerr.Newf("FODC0002", "context document %q not loaded", e.ContextDoc)
 	}
 	t := NewTable([]string{"pos", "item"}, []ColKind{KInt, KItem})
 	t.N = 1
@@ -252,7 +317,7 @@ func (e *Exec) execContextRoot() (*Table, error) {
 func (e *Exec) execParam(n *ParamTable) (*Table, error) {
 	v, ok := e.Bindings[n.Var]
 	if !ok {
-		return nil, fmt.Errorf("xquery error XPDY0002: no value bound for external variable $%s", n.Var)
+		return nil, xqerr.Newf("XPDY0002", "no value bound for external variable $%s", n.Var)
 	}
 	t := NewTable([]string{"pos", "item"}, []ColKind{KInt, KItem})
 	t.N = v.Len()
@@ -268,7 +333,7 @@ func (e *Exec) execParam(n *ParamTable) (*Table, error) {
 func (e *Exec) execCollectionRoot(n *CollectionRoot) (*Table, error) {
 	sp, ok := e.Pool.Collection(n.Coll)
 	if !ok {
-		return nil, fmt.Errorf("xquery error FODC0004: collection %q not available", n.Coll)
+		return nil, xqerr.Newf("FODC0004", "collection %q not available", n.Coll)
 	}
 	conts, pres := sp.Roots()
 	t := NewTable([]string{"pos", "item"}, []ColKind{KInt, KItem})
@@ -463,6 +528,9 @@ func (e *Exec) execHashJoin(n *HashJoin, l, r *Table) (*Table, error) {
 		lidx, ridx = e.parPairs(l.N, func(lo, hi int) ([]int32, []int32) {
 			var li, ri []int32
 			for i := lo; i < hi; i++ {
+				if (i-lo)&8191 == 8191 && e.stopRequested() {
+					break
+				}
 				j := lkey[i] - base
 				if j >= 0 && j < int64(r.N) {
 					li = append(li, int32(i))
@@ -477,6 +545,9 @@ func (e *Exec) execHashJoin(n *HashJoin, l, r *Table) (*Table, error) {
 		lidx, ridx = e.parPairs(r.N, func(lo, hi int) ([]int32, []int32) {
 			var li, ri []int32
 			for j := lo; j < hi; j++ {
+				if (j-lo)&8191 == 8191 && e.stopRequested() {
+					break
+				}
 				i := rkey[j] - base
 				if i >= 0 && i < int64(l.N) {
 					li = append(li, int32(i))
@@ -491,6 +562,9 @@ func (e *Exec) execHashJoin(n *HashJoin, l, r *Table) (*Table, error) {
 		lidx, ridx = e.parPairs(l.N, func(lo, hi int) ([]int32, []int32) {
 			var li, ri []int32
 			for i := lo; i < hi; i++ {
+				if (i-lo)&4095 == 4095 && e.stopRequested() {
+					break
+				}
 				for _, j := range ht.lookup(lkey[i]) {
 					li = append(li, int32(i))
 					ri = append(ri, j)
@@ -539,6 +613,9 @@ func (e *Exec) execCross(n *Cross, l, r *Table) (*Table, error) {
 	lidx := make([]int32, 0, total)
 	ridx := make([]int32, 0, total)
 	for i := 0; i < l.N; i++ {
+		if i&255 == 255 && e.stopRequested() {
+			return nil, e.Ctx.Err()
+		}
 		for j := 0; j < r.N; j++ {
 			lidx = append(lidx, int32(i))
 			ridx = append(ridx, int32(j))
@@ -693,8 +770,9 @@ func (e *Exec) execAggr(n *Aggr, in *Table) (*Table, error) {
 		rs := splitRuns(in.N, e.Par.Workers, func(i int) bool { return part[i] != part[i-1] })
 		pcs := make([][]int64, len(rs))
 		vcs := make([][]xqt.Item, len(rs))
+		stop := e.stopFunc()
 		e.Par.parRun(len(rs), func(k int) {
-			pcs[k], vcs[k] = aggrRange(n, part, arg, rs[k][0], rs[k][1])
+			pcs[k], vcs[k] = aggrRange(n, part, arg, rs[k][0], rs[k][1], stop)
 		})
 		out := NewTable([]string{n.Part, n.Out}, []ColKind{KInt, KItem})
 		for k := range pcs {
@@ -706,7 +784,7 @@ func (e *Exec) execAggr(n *Aggr, in *Table) (*Table, error) {
 		out.N = out.Col(n.Part).Len()
 		return out, nil
 	}
-	pc, vc := aggrRange(n, part, arg, 0, in.N)
+	pc, vc := aggrRange(n, part, arg, 0, in.N, e.stopFunc())
 	out := NewTable([]string{n.Part, n.Out}, []ColKind{KInt, KItem})
 	out.N = len(pc)
 	out.Col(n.Part).Int = pc
@@ -728,8 +806,10 @@ type aggGroup struct {
 // uniform numeric tag, the accumulation loops run over the raw
 // int64/float64 payload vectors — one kind dispatch per chunk instead of
 // one per row (the accumulation order, and therefore every
-// floating-point result bit, is unchanged).
-func aggrRange(n *Aggr, part []int64, arg *ItemVec, lo, hi int) ([]int64, []xqt.Item) {
+// floating-point result bit, is unchanged). A non-nil stop is polled
+// every few thousand rows; when it fires the partial result is returned
+// (the caller's Run discards it and surfaces the context error).
+func aggrRange(n *Aggr, part []int64, arg *ItemVec, lo, hi int, stop func() bool) ([]int64, []xqt.Item) {
 	order := make([]int64, 0, 64)
 	groups := make(map[int64]*aggGroup, 64)
 	lookup := func(p int64) *aggGroup {
@@ -750,16 +830,25 @@ func aggrRange(n *Aggr, part []int64, arg *ItemVec, lo, hi int) ([]int64, []xqt.
 	switch {
 	case n.Op == AggCount:
 		for i := lo; i < hi; i++ {
+			if (i-lo)&8191 == 8191 && stop != nil && stop() {
+				return nil, nil
+			}
 			lookup(part[i])
 		}
 	case uniform && tag == xqt.KInt && (n.Op == AggSum || n.Op == AggAvg):
 		for i := lo; i < hi; i++ {
+			if (i-lo)&8191 == 8191 && stop != nil && stop() {
+				return nil, nil
+			}
 			g := lookup(part[i])
 			g.sumI += arg.I[i]
 			g.sumF += float64(arg.I[i])
 		}
 	case uniform && tag == xqt.KDouble && (n.Op == AggSum || n.Op == AggAvg):
 		for i := lo; i < hi; i++ {
+			if (i-lo)&8191 == 8191 && stop != nil && stop() {
+				return nil, nil
+			}
 			g := lookup(part[i])
 			g.allInt = false
 			g.sumF += arg.F[i]
@@ -769,6 +858,9 @@ func aggrRange(n *Aggr, part []int64, arg *ItemVec, lo, hi int) ([]int64, []xqt.
 		// order xqt.SortLess applies to numeric items
 		max := n.Op == AggMax
 		for i := lo; i < hi; i++ {
+			if (i-lo)&8191 == 8191 && stop != nil && stop() {
+				return nil, nil
+			}
 			g := lookup(part[i])
 			v := arg.I[i]
 			if g.cnt == 1 ||
@@ -780,6 +872,9 @@ func aggrRange(n *Aggr, part []int64, arg *ItemVec, lo, hi int) ([]int64, []xqt.
 	case uniform && tag == xqt.KDouble && (n.Op == AggMin || n.Op == AggMax):
 		max := n.Op == AggMax
 		for i := lo; i < hi; i++ {
+			if (i-lo)&8191 == 8191 && stop != nil && stop() {
+				return nil, nil
+			}
 			g := lookup(part[i])
 			v := arg.F[i]
 			if g.cnt == 1 || (max && g.minmax.F < v) || (!max && v < g.minmax.F) {
@@ -788,6 +883,9 @@ func aggrRange(n *Aggr, part []int64, arg *ItemVec, lo, hi int) ([]int64, []xqt.
 		}
 	default:
 		for i := lo; i < hi; i++ {
+			if (i-lo)&8191 == 8191 && stop != nil && stop() {
+				return nil, nil
+			}
 			g := lookup(part[i])
 			switch n.Op {
 			case AggSum, AggAvg:
@@ -966,7 +1064,9 @@ func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
 			total += w
 		}
 		stats := make([]scj.Stats, len(segs))
+		stop := e.stopFunc()
 		e.Par.parRun(len(segs), func(k int) {
+			stats[k].Stop = stop
 			budget := int(int64(e.Par.Workers) * weights[k] / total)
 			results[k] = e.stepSegRun(n, iters, items, segs[k], budget, &stats[k])
 		})
@@ -976,9 +1076,15 @@ func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
 			e.Stats.Step.Pruned += stats[k].Pruned
 		}
 	} else {
+		stop := e.stopFunc()
+		e.Stats.Step.Stop = stop
 		for k, s := range segs {
+			if stop != nil && stop() {
+				break
+			}
 			results[k] = e.stepSegRun(n, iters, items, s, e.Par.Workers, &e.Stats.Step)
 		}
+		e.Stats.Step.Stop = nil
 	}
 	out := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
 	total := 0
@@ -1112,7 +1218,7 @@ func ebvGroup(items *ItemVec, lo, hi int) (bool, error) {
 		return true, nil
 	}
 	if hi-lo > 1 {
-		return false, fmt.Errorf("xquery error FORG0006: effective boolean value of a sequence of %d atomic values", hi-lo)
+		return false, xqerr.Newf("FORG0006", "effective boolean value of a sequence of %d atomic values", hi-lo)
 	}
 	return ebvAtom(items.At(lo)), nil
 }
@@ -1136,7 +1242,7 @@ func execCardCheck(n *CardCheck, in *Table) (*Table, error) {
 		part := in.Ints(n.Part)
 		for i := 1; i < len(part); i++ {
 			if part[i] == part[i-1] {
-				return nil, fmt.Errorf("xquery error FORG0003: %s applied to a sequence with more than one item", n.Fn)
+				return nil, xqerr.Newf("FORG0003", "%s applied to a sequence with more than one item", n.Fn)
 			}
 		}
 	}
@@ -2024,6 +2130,9 @@ func (e *Exec) execExistJoin(n *ExistJoin, l, r *Table) (*Table, error) {
 		}
 		e.Stats.ThetaNL++
 		for i := range latoms {
+			if i&255 == 255 && e.stopRequested() {
+				break
+			}
 			for j := range ratoms {
 				if xqt.Compare(latoms[i], ratoms[j], n.Cmp) {
 					p1 = append(p1, liter[i])
@@ -2192,6 +2301,9 @@ func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, lf []float64, ls []st
 	case ThetaNestedLoop:
 		e.Stats.ThetaNL++
 		for i := 0; i < nl; i++ {
+			if i&255 == 255 && e.stopRequested() {
+				break
+			}
 			for j := 0; j < nrt; j++ {
 				if cmpOK(i, j) {
 					p1 = append(p1, liter[i])
@@ -2202,6 +2314,9 @@ func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, lf []float64, ls []st
 	default:
 		e.Stats.ThetaIdx++
 		for i := 0; i < nl; i++ {
+			if i&1023 == 1023 && e.stopRequested() {
+				break
+			}
 			lo, hi := matchRange(i)
 			start := len(p2)
 			for k := lo; k < hi; k++ {
@@ -2305,7 +2420,12 @@ func (e *Exec) execElem(n *ElemConstruct, in []*Table) (*Table, error) {
 	tc := out.Col("item")
 	b := store.NewContainerBuilder(e.Transient)
 	ci := 0
+	built := 0
 	for _, it := range loop {
+		built++
+		if built&1023 == 0 && e.stopRequested() {
+			return nil, e.Ctx.Err()
+		}
 		pre := b.StartElem(n.Tag)
 		for a := range attrs {
 			var val strings.Builder
@@ -2356,7 +2476,7 @@ func (e *Exec) execElem(n *ElemConstruct, in []*Table) (*Table, error) {
 			case xqt.KAttr:
 				src := e.Pool.Get(item.Cont)
 				if sawContent || pendingText != "" {
-					return nil, fmt.Errorf("xquery error XQTY0024: attribute node after content in element constructor")
+					return nil, xqerr.Newf("XQTY0024", "attribute node after content in element constructor")
 				}
 				b.Attr(src.Names.Name(src.AttrName[item.I]), src.AttrVal[item.I])
 			default:

@@ -95,14 +95,21 @@ func int64sNonDecreasing(s []int64) bool {
 }
 
 // parFill runs fill over row chunks of [0, n); fill must only write
-// rows in its own [lo, hi) range.
+// rows in its own [lo, hi) range. Chunks whose turn comes after the
+// execution's context expired are skipped (the partial table is
+// discarded by Run).
 func (e *Exec) parFill(n int, fill func(lo, hi int)) {
 	if !e.Par.on(n) {
 		fill(0, n)
 		return
 	}
 	rs := splitRows(n, e.Par.Workers)
-	e.Par.parRun(len(rs), func(k int) { fill(rs[k][0], rs[k][1]) })
+	e.Par.parRun(len(rs), func(k int) {
+		if e.stopRequested() {
+			return
+		}
+		fill(rs[k][0], rs[k][1])
+	})
 }
 
 // gather is Table.Gather with column-parallel execution for large index
@@ -113,7 +120,12 @@ func (e *Exec) gather(t *Table, idx []int32) *Table {
 	}
 	out := &Table{N: len(idx), names: append([]string(nil), t.names...)}
 	out.cols = make([]Col, len(t.cols))
-	e.Par.parRun(len(t.cols), func(i int) { out.cols[i] = t.cols[i].Gather(idx) })
+	e.Par.parRun(len(t.cols), func(i int) {
+		if e.stopRequested() {
+			return
+		}
+		out.cols[i] = t.cols[i].Gather(idx)
+	})
 	return out
 }
 
@@ -127,7 +139,12 @@ func (e *Exec) parPairs(nrows int, gen func(lo, hi int) ([]int32, []int32)) ([]i
 	rs := splitRows(nrows, e.Par.Workers)
 	ls := make([][]int32, len(rs))
 	rds := make([][]int32, len(rs))
-	e.Par.parRun(len(rs), func(k int) { ls[k], rds[k] = gen(rs[k][0], rs[k][1]) })
+	e.Par.parRun(len(rs), func(k int) {
+		if e.stopRequested() {
+			return
+		}
+		ls[k], rds[k] = gen(rs[k][0], rs[k][1])
+	})
 	total := 0
 	for _, l := range ls {
 		total += len(l)
@@ -178,6 +195,9 @@ func (e *Exec) buildHashTable(rkey []int64) *hashTable {
 	e.Par.parRun(nparts, func(w int) {
 		m := make(map[int64][]int32, len(rkey)/nparts+1)
 		for j, k := range rkey {
+			if j&8191 == 8191 && e.stopRequested() {
+				break
+			}
 			if keyPart(k, nparts) == w {
 				m[k] = append(m[k], int32(j))
 			}

@@ -135,7 +135,10 @@ func (*CollectionRoot) Name() string { return "collroot" }
 // compile-time rejection into the runtime error the spec prescribes.
 type Fail struct {
 	nullary
-	Msg string
+	// Code is the W3C error code the failure raises; Msg is the message
+	// text (without the "xquery error" prefix).
+	Code string
+	Msg  string
 }
 
 // Name implements Plan.

@@ -171,6 +171,9 @@ func parByContext(c *store.Container, ctx Pairs, axis Axis, test Test, v Variant
 	}
 	outs := make([]Pairs, len(chunks))
 	stats := make([]Stats, len(chunks))
+	for k := range stats {
+		stats[k].Stop = st.Stop
+	}
 	ParRun(workers, len(chunks), func(k int) {
 		outs[k] = Step(c, chunks[k], axis, test, v, &stats[k])
 	})
@@ -225,6 +228,9 @@ func parCandDescendant(c *store.Container, ctx Pairs, cand []int32, workers int,
 	}
 	outs := make([]Pairs, chunks)
 	stats := make([]Stats, chunks)
+	for k := range stats {
+		stats[k].Stop = st.Stop
+	}
 	ParRun(workers, chunks, func(k int) {
 		lo := len(cand) * k / chunks
 		hi := len(cand) * (k + 1) / chunks
@@ -250,6 +256,9 @@ func parScanDescendant(c *store.Container, ctx Pairs, match func(int32) bool, lo
 	}
 	outs := make([]Pairs, chunks)
 	stats := make([]Stats, chunks)
+	for k := range stats {
+		stats[k].Stop = st.Stop
+	}
 	ParRun(workers, chunks, func(k int) {
 		rlo := lo + int32(span*k/chunks)
 		rhi := lo + int32(span*(k+1)/chunks)
@@ -354,6 +363,9 @@ func scanDescendantRange(c *store.Container, ctx Pairs, match func(int32) bool, 
 		if nxt < n && ctx.Pre[nxt] == p {
 			if len(active) > 0 {
 				st.Touched++
+				if st.Touched&4095 == 0 && st.stopped() {
+					return
+				}
 				if match(p) {
 					for _, it := range active {
 						out.append(p, it)
@@ -373,6 +385,9 @@ func scanDescendantRange(c *store.Container, ctx Pairs, match func(int32) bool, 
 		}
 		for q := p; q <= stop; q++ {
 			st.Touched++
+			if st.Touched&4095 == 0 && st.stopped() {
+				return
+			}
 			if c.Level[q] == store.NullLevel {
 				q += c.Size[q] // skip unused run
 				continue

@@ -170,7 +170,18 @@ type Stats struct {
 	Touched int64 // document tuples visited (including skip landings)
 	Emitted int64 // result pairs produced
 	Pruned  int64 // context entries removed by pruning
+
+	// Stop, when non-nil, is polled (amortized over a few thousand
+	// touched tuples) by the step algorithms; returning true makes them
+	// abandon the remaining sweep. The executor wires it to its
+	// context's cancellation so deadline/disconnect aborts mid-step; the
+	// truncated output is discarded by the caller. Nil (the default)
+	// keeps the sweeps poll-free.
+	Stop func() bool
 }
+
+// stopped reports whether a cancellation hook is installed and has fired.
+func (st *Stats) stopped() bool { return st.Stop != nil && st.Stop() }
 
 // Variant selects the execution strategy of a step.
 type Variant uint8
@@ -323,6 +334,9 @@ func llChild(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, 
 		p := f.nxtChld
 		for p <= stop && p <= f.eos {
 			st.Touched++
+			if st.Touched&4095 == 0 && st.stopped() {
+				break
+			}
 			if c.Level[p] != store.NullLevel && match(p) {
 				for i := f.fstIter; i <= f.lstIter; i++ {
 					out.append(p, ctx.Iter[i])
@@ -334,6 +348,9 @@ func llChild(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, 
 	}
 
 	for nxtCtx < n {
+		if nxtCtx&1023 == 0 && st.stopped() {
+			return
+		}
 		if len(active) == 0 {
 			pushCtx() // ① start a new partition
 		} else if active[len(active)-1].eos >= ctx.Pre[nxtCtx] {
@@ -366,6 +383,9 @@ func llDescendant(c *store.Container, ctx Pairs, match func(int32) bool, out *Pa
 func llSelf(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
 	for i := 0; i < ctx.Len(); i++ {
 		st.Touched++
+		if st.Touched&4095 == 0 && st.stopped() {
+			return
+		}
 		if match(ctx.Pre[i]) {
 			out.append(ctx.Pre[i], ctx.Iter[i])
 		}
@@ -399,6 +419,9 @@ func llParent(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs,
 func llAncestor(c *store.Container, ctx Pairs, match func(int32) bool, orSelf bool, out *Pairs, st *Stats) {
 	seen := make(map[int64]bool)
 	for i := 0; i < ctx.Len(); i++ {
+		if i&1023 == 0 && st.stopped() {
+			break
+		}
 		p := ctx.Pre[i]
 		if !orSelf {
 			p = c.Parent[p]
@@ -480,6 +503,9 @@ func followingFrag(c *store.Container, ctx Pairs, frag int32, match func(int32) 
 			next = next + 1
 		}
 		st.Touched++
+		if st.Touched&4095 == 0 && st.stopped() {
+			return
+		}
 		if c.Level[p] == store.NullLevel {
 			p += c.Size[p]
 			continue
@@ -526,6 +552,9 @@ func precedingFrag(c *store.Container, ctx Pairs, frag int32, match func(int32) 
 	sort.Slice(cuts, func(i, j int) bool { return cuts[i].cut < cuts[j].cut })
 	for p := frag; p < maxCut; p++ {
 		st.Touched++
+		if st.Touched&4095 == 0 && st.stopped() {
+			return
+		}
 		if c.Level[p] == store.NullLevel {
 			p += c.Size[p]
 			continue
@@ -545,6 +574,9 @@ func precedingFrag(c *store.Container, ctx Pairs, frag int32, match func(int32) 
 func llFollowingSibling(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
 	seen := make(map[int64]bool)
 	for i := 0; i < ctx.Len(); i++ {
+		if i&1023 == 0 && st.stopped() {
+			break
+		}
 		pre := ctx.Pre[i]
 		par := c.Parent[pre]
 		if par < 0 {
@@ -571,6 +603,9 @@ func llFollowingSibling(c *store.Container, ctx Pairs, match func(int32) bool, o
 func llPrecedingSibling(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
 	seen := make(map[int64]bool)
 	for i := 0; i < ctx.Len(); i++ {
+		if i&1023 == 0 && st.stopped() {
+			break
+		}
 		pre := ctx.Pre[i]
 		par := c.Parent[pre]
 		if par < 0 {
@@ -609,6 +644,9 @@ func iterative(c *store.Container, ctx Pairs, axis Axis, test Test, out *Pairs, 
 	sort.Slice(iters, func(i, j int) bool { return iters[i] < iters[j] })
 	var sub, tmp Pairs
 	for _, it := range iters {
+		if st.stopped() {
+			break
+		}
 		sub.Pre = sub.Pre[:0]
 		sub.Iter = sub.Iter[:0]
 		for i := 0; i < ctx.Len(); i++ { // full scan per iteration
@@ -656,7 +694,12 @@ func candDescendant(c *store.Container, ctx Pairs, cand []int32, out *Pairs, st 
 	n := int32(ctx.Len())
 	nxt := int32(0)
 	li := 0
+	events := 0
 	for nxt < n || len(frames) > 0 {
+		events++
+		if events&1023 == 0 && st.stopped() {
+			return
+		}
 		if len(frames) == 0 {
 			// skipping: jump straight past candidates that precede the
 			// next context region
@@ -725,6 +768,9 @@ func candChild(c *store.Container, ctx Pairs, cand []int32, out *Pairs, st *Stat
 	i := 0
 	n := ctx.Len()
 	for i < n {
+		if st.stopped() {
+			break
+		}
 		pre := ctx.Pre[i]
 		j := i
 		for j < n && ctx.Pre[j] == pre {

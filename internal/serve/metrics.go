@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the query latency
+// histogram, decade-stepped from 1ms to 10s plus +Inf.
+var latencyBuckets = [numBuckets - 1]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// numBuckets counts the histogram buckets including +Inf.
+const numBuckets = 10
+
+// metrics holds the server's counters. Everything is atomic — the hot
+// path never takes a lock.
+type metrics struct {
+	queries       atomic.Int64 // executions started
+	errors        atomic.Int64 // executions that returned an error
+	timeouts      atomic.Int64 // executions cancelled by deadline/disconnect
+	compileErrors atomic.Int64 // prepare/one-shot compile failures
+	rejected      atomic.Int64 // executions shed by the inflight limit
+	inflight      atomic.Int64 // currently executing queries
+
+	latencySum   atomic.Int64 // nanoseconds, all executions
+	bucketCounts [numBuckets]atomic.Int64
+}
+
+func (m *metrics) observe(d time.Duration, err error) {
+	m.queries.Add(1)
+	m.latencySum.Add(int64(d))
+	sec := d.Seconds()
+	k := numBuckets - 1 // +Inf
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			k = i
+			break
+		}
+	}
+	m.bucketCounts[k].Add(1)
+	if err != nil {
+		m.errors.Add(1)
+		if execStatus(err) == http.StatusGatewayTimeout {
+			m.timeouts.Add(1)
+		}
+	}
+}
+
+// handleMetrics renders the counters in the text exposition format
+// (counter/gauge/histogram lines a Prometheus scraper accepts).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := &s.metrics
+	hits, misses, cached := s.db.Engine().CacheStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# TYPE mxqd_queries_total counter\nmxqd_queries_total %d\n", m.queries.Load())
+	fmt.Fprintf(w, "# TYPE mxqd_query_errors_total counter\nmxqd_query_errors_total %d\n", m.errors.Load())
+	fmt.Fprintf(w, "# TYPE mxqd_query_timeouts_total counter\nmxqd_query_timeouts_total %d\n", m.timeouts.Load())
+	fmt.Fprintf(w, "# TYPE mxqd_compile_errors_total counter\nmxqd_compile_errors_total %d\n", m.compileErrors.Load())
+	fmt.Fprintf(w, "# TYPE mxqd_rejected_total counter\nmxqd_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "# TYPE mxqd_inflight_queries gauge\nmxqd_inflight_queries %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# TYPE mxqd_prepared_statements gauge\nmxqd_prepared_statements %d\n", s.StmtCount())
+	fmt.Fprintf(w, "# TYPE mxqd_plan_cache_hits_total counter\nmxqd_plan_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# TYPE mxqd_plan_cache_misses_total counter\nmxqd_plan_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# TYPE mxqd_plan_cache_size gauge\nmxqd_plan_cache_size %d\n", cached)
+	fmt.Fprintf(w, "# TYPE mxqd_query_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.bucketCounts[i].Load()
+		fmt.Fprintf(w, "mxqd_query_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), cum)
+	}
+	cum += m.bucketCounts[numBuckets-1].Load()
+	fmt.Fprintf(w, "mxqd_query_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "mxqd_query_seconds_sum %g\n", time.Duration(m.latencySum.Load()).Seconds())
+	fmt.Fprintf(w, "mxqd_query_seconds_count %d\n", m.queries.Load())
+}
+
+// LimitListener caps concurrently accepted connections at n: Accept
+// blocks while n connections are open, and each connection returns its
+// slot on Close. This is the daemon's connection limit, sitting below
+// the per-query inflight limit.
+func LimitListener(l net.Listener, n int) net.Listener {
+	return &limitListener{Listener: l, sem: make(chan struct{}, n)}
+}
+
+type limitListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitConn{Conn: c, release: func() { <-l.sem }}, nil
+}
+
+type limitConn struct {
+	net.Conn
+	release  func()
+	released atomic.Bool
+}
+
+func (c *limitConn) Close() error {
+	if c.released.CompareAndSwap(false, true) {
+		defer c.release()
+	}
+	return c.Conn.Close()
+}

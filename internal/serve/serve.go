@@ -1,0 +1,416 @@
+// Package serve is the HTTP serving layer of the engine — the mxqd
+// daemon's core. It exposes the statement-centric API of package mxq
+// over the wire:
+//
+//	POST   /query            one-shot query, streamed XML/text response
+//	POST   /prepare          compile a query, returns {id, vars}
+//	POST   /stmt/{id}/exec   execute a prepared statement with JSON binds
+//	DELETE /stmt/{id}        release a prepared statement
+//	GET    /healthz          liveness probe
+//	GET    /metrics          text-format counters and latency histogram
+//
+// Results stream to the response body through Result.SerializeXML —
+// the serialized text is never materialized server-side. Every
+// execution runs under the request's context plus the effective
+// timeout, so client disconnects and deadlines cancel the executor at
+// its operator checkpoints; the fork-join worker pool guarantees no
+// goroutine outlives its request. Static query errors (parse errors
+// and the XPST/XQST classes) map to 400, dynamic errors to 500,
+// deadline expiry to 504, and executions beyond the inflight limit are
+// rejected with 503 before any work is done.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mxq"
+)
+
+// Config tunes one Server. The zero value serves with the defaults
+// noted per field.
+type Config struct {
+	// MaxInflight bounds concurrently executing queries across all
+	// endpoints; further executions get 503 until one finishes.
+	// 0 means DefaultMaxInflight.
+	MaxInflight int
+	// MaxStmts bounds the live prepared statements; /prepare beyond it
+	// returns 503 until statements are released. 0 means
+	// DefaultMaxStmts.
+	MaxStmts int
+	// DefaultTimeout applies to executions whose request does not set
+	// timeout_ms. 0 means DefaultQueryTimeout; negative disables the
+	// default deadline (the request context still cancels).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout_ms. 0 means
+	// DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// MaxRequestBytes bounds request bodies. 0 means
+	// DefaultMaxRequestBytes.
+	MaxRequestBytes int64
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxInflight     = 64
+	DefaultMaxStmts        = 1024
+	DefaultQueryTimeout    = 30 * time.Second
+	DefaultMaxTimeout      = 5 * time.Minute
+	DefaultMaxRequestBytes = 1 << 20
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.MaxStmts == 0 {
+		c.MaxStmts = DefaultMaxStmts
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = DefaultQueryTimeout
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = DefaultMaxTimeout
+	}
+	if c.MaxRequestBytes == 0 {
+		c.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	return c
+}
+
+// Server serves one DB over HTTP. Create with New, install via
+// Handler; it is safe for any number of concurrent requests.
+type Server struct {
+	db  *mxq.DB
+	cfg Config
+	mux *http.ServeMux
+	sem chan struct{} // inflight-execution slots
+
+	mu     sync.Mutex
+	stmts  map[string]*mxq.Stmt
+	nextID int64
+
+	metrics metrics
+}
+
+// New builds a Server over db.
+func New(db *mxq.DB, cfg Config) *Server {
+	s := &Server{
+		db:    db,
+		cfg:   cfg.withDefaults(),
+		mux:   http.NewServeMux(),
+		stmts: make(map[string]*mxq.Stmt),
+	}
+	s.sem = make(chan struct{}, s.cfg.MaxInflight)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /prepare", s.handlePrepare)
+	s.mux.HandleFunc("POST /stmt/{id}/exec", s.handleExec)
+	s.mux.HandleFunc("DELETE /stmt/{id}", s.handleClose)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StmtCount reports the live prepared statements (metrics, tests).
+func (s *Server) StmtCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stmts)
+}
+
+// queryRequest is the JSON body of /query and /stmt/{id}/exec. For
+// /query the query text is required; for exec it is ignored.
+type queryRequest struct {
+	Query string `json:"query"`
+	// Binds supplies external variables: number, string, bool, or an
+	// array of those (a sequence). JSON integers bind as xs:integer,
+	// other numbers as xs:double.
+	Binds map[string]json.RawMessage `json:"binds"`
+	// TimeoutMS overrides the server's default query timeout, capped
+	// by the server's maximum.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// errorBody is the JSON error response of every endpoint.
+type errorBody struct {
+	Error string `json:"error"`
+	// Code is the W3C error code when the failure is a typed XQuery
+	// error ("" otherwise).
+	Code string `json:"code,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	body := errorBody{Error: err.Error()}
+	if qe := mxq.AsQueryError(err); qe != nil {
+		body.Code = qe.Code
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// execStatus maps an execution error to its HTTP status: deadline and
+// cancellation map to 504, static query errors to 400 (the query can
+// never run), everything else — dynamic errors, contained internal
+// panics — to 500.
+func execStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	if qe := mxq.AsQueryError(err); qe != nil && qe.Static() {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*queryRequest, bool) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return nil, false
+	}
+	return &req, true
+}
+
+// execContext derives the execution context: the request context (so a
+// client disconnect cancels the executor) plus the effective timeout.
+func (s *Server) execContext(r *http.Request, req *queryRequest) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// acquire takes an inflight slot without blocking; a full server
+// answers 503 immediately so load sheds at the door.
+func (s *Server) acquire(w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.inflight.Add(1)
+		return true
+	default:
+		s.metrics.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, errors.New("too many queries in flight"))
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.metrics.inflight.Add(-1)
+	<-s.sem
+}
+
+// run executes stmt under the request's context and streams the
+// result. It owns the inflight slot, the metrics bookkeeping and the
+// error mapping shared by /query and /stmt/{id}/exec.
+func (s *Server) run(w http.ResponseWriter, r *http.Request, req *queryRequest, stmt *mxq.Stmt) {
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.execContext(r, req)
+	defer cancel()
+	start := time.Now()
+	res, err := stmt.ExecContext(ctx)
+	s.metrics.observe(time.Since(start), err)
+	if err != nil {
+		writeError(w, execStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	// From here the result streams; serialization failure means the
+	// client went away — nothing useful can be written anymore.
+	_ = res.SerializeXML(w)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, errors.New(`missing "query"`))
+		return
+	}
+	stmt, err := s.db.Prepare(req.Query)
+	if err != nil {
+		s.metrics.compileErrors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	stmt, ok = s.bindAll(w, stmt, req.Binds)
+	if !ok {
+		return
+	}
+	s.run(w, r, req, stmt)
+}
+
+// prepareResponse is the JSON body answering /prepare.
+type prepareResponse struct {
+	ID   string    `json:"id"`
+	Vars []varInfo `json:"vars"`
+}
+
+type varInfo struct {
+	Name      string `json:"name"`
+	Required  bool   `json:"required"`
+	Singleton bool   `json:"singleton"`
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, errors.New(`missing "query"`))
+		return
+	}
+	stmt, err := s.db.Prepare(req.Query)
+	if err != nil {
+		s.metrics.compileErrors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := prepareResponse{}
+	for _, v := range stmt.Vars() {
+		resp.Vars = append(resp.Vars, varInfo{Name: v.Name, Required: v.Required, Singleton: v.Singleton})
+	}
+	s.mu.Lock()
+	if len(s.stmts) >= s.cfg.MaxStmts {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errors.New("too many prepared statements"))
+		return
+	}
+	s.nextID++
+	resp.ID = "s" + strconv.FormatInt(s.nextID, 10)
+	s.stmts[resp.ID] = stmt
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*mxq.Stmt, string, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	stmt, ok := s.stmts[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no prepared statement %q", id))
+		return nil, id, false
+	}
+	return stmt, id, true
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	stmt, _, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	stmt, ok = s.bindAll(w, stmt, req.Binds)
+	if !ok {
+		return
+	}
+	s.run(w, r, req, stmt)
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	_, id, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	delete(s.stmts, id)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// bindAll converts the request's JSON binds to typed values. Stmt.Bind
+// is copy-on-write, so the registered statement is never mutated —
+// concurrent execs of one statement id with different binds are
+// independent.
+func (s *Server) bindAll(w http.ResponseWriter, stmt *mxq.Stmt, binds map[string]json.RawMessage) (*mxq.Stmt, bool) {
+	for name, raw := range binds {
+		v, err := decodeValue(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bind $%s: %w", name, err))
+			return nil, false
+		}
+		stmt = stmt.Bind(name, v)
+	}
+	return stmt, true
+}
+
+// decodeValue maps a JSON value to a typed XQuery sequence: integers
+// to xs:integer, other numbers to xs:double, strings and booleans to
+// their xs: counterparts, arrays to sequences of the above.
+func decodeValue(raw json.RawMessage) (mxq.Value, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return mxq.Value{}, err
+	}
+	return toValue(v)
+}
+
+func toValue(v any) (mxq.Value, error) {
+	switch x := v.(type) {
+	case json.Number:
+		if i, err := strconv.ParseInt(x.String(), 10, 64); err == nil {
+			return mxq.Int(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return mxq.Value{}, fmt.Errorf("bad number %q", x.String())
+		}
+		return mxq.Float(f), nil
+	case string:
+		return mxq.String(x), nil
+	case bool:
+		return mxq.Bool(x), nil
+	case []any:
+		items := make([]mxq.Value, 0, len(x))
+		for _, el := range x {
+			ev, err := toValue(el)
+			if err != nil {
+				return mxq.Value{}, err
+			}
+			if _, nested := el.([]any); nested {
+				return mxq.Value{}, errors.New("sequences do not nest")
+			}
+			items = append(items, ev)
+		}
+		return mxq.Sequence(items...), nil
+	default:
+		return mxq.Value{}, fmt.Errorf("unsupported bind type %T (want number, string, bool, or array)", v)
+	}
+}

@@ -1,0 +1,373 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mxq"
+	"mxq/internal/xmark"
+)
+
+// newTestServer builds a server over a small generated XMark document
+// plus its in-process DB (the byte-comparison oracle).
+func newTestServer(t *testing.T, cfg Config, opts ...mxq.Option) (*httptest.Server, *mxq.DB) {
+	t.Helper()
+	db := mxq.Open(opts...)
+	db.LoadXMark("auction.xml", 0.002, 11)
+	ts := httptest.NewServer(New(db, cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestServerDifferentialXMark is the wire-level differential test: for
+// every XMark query the bytes served over HTTP must equal the
+// in-process serialization exactly.
+func TestServerDifferentialXMark(t *testing.T) {
+	ts, db := newTestServer(t, Config{})
+	for i := 0; i < 20; i++ {
+		q := xmark.Query(i + 1)
+		want, err := db.QueryString(q)
+		if err != nil {
+			t.Fatalf("in-process Q%d: %v", i+1, err)
+		}
+		resp, body := postJSON(t, ts.URL+"/query", map[string]any{"query": q})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("Q%d: status %d: %s", i+1, resp.StatusCode, body)
+			continue
+		}
+		if string(body) != want {
+			t.Errorf("Q%d: wire bytes differ from in-process result", i+1)
+		}
+	}
+}
+
+// TestServerPreparedRoundTrip drives the prepared-statement endpoints:
+// prepare once, introspect vars, exec with typed JSON binds, close.
+func TestServerPreparedRoundTrip(t *testing.T) {
+	ts, db := newTestServer(t, Config{})
+	const q = `declare variable $min external;
+		for $a in /site/open_auctions/open_auction
+		where number($a/initial) >= $min
+		return $a/initial/text()`
+	resp, body := postJSON(t, ts.URL+"/prepare", map[string]any{"query": q})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepare: status %d: %s", resp.StatusCode, body)
+	}
+	var pr struct {
+		ID   string `json:"id"`
+		Vars []struct {
+			Name     string `json:"name"`
+			Required bool   `json:"required"`
+		} `json:"vars"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("prepare response: %v", err)
+	}
+	if len(pr.Vars) != 1 || pr.Vars[0].Name != "min" || !pr.Vars[0].Required {
+		t.Fatalf("vars = %+v, want one required $min", pr.Vars)
+	}
+
+	stmt, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, min := range []int64{1, 5} {
+		want, err := stmt.Bind("min", mxq.Int(min)).ExecString()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body := postJSON(t, ts.URL+"/stmt/"+pr.ID+"/exec",
+			map[string]any{"binds": map[string]any{"min": min}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("exec min=%d: status %d: %s", min, resp.StatusCode, body)
+		}
+		if string(body) != want {
+			t.Errorf("exec min=%d: wire bytes differ from in-process result", min)
+		}
+	}
+
+	// binding an undeclared variable is a client error with its W3C code
+	resp, body = postJSON(t, ts.URL+"/stmt/"+pr.ID+"/exec",
+		map[string]any{"binds": map[string]any{"nope": 1}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("undeclared bind: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "XPST0008") {
+		t.Errorf("undeclared bind response %s lacks XPST0008", body)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/stmt/"+pr.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("close: status %d", dresp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/stmt/"+pr.ID+"/exec", map[string]any{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("exec after close: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerBindTypes checks the JSON-to-XQuery value mapping: integer
+// vs float vs string vs bool vs sequence.
+func TestServerBindTypes(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	cases := []struct {
+		q    string
+		bind any
+		want string
+	}{
+		{`declare variable $v external; $v + 1`, 41, "42"},
+		{`declare variable $v external; $v * 2`, 1.5, "3"},
+		{`declare variable $v external; concat($v, "!")`, "hi", "hi!"},
+		{`declare variable $v external; not($v)`, true, "false"},
+		{`declare variable $v external; sum($v)`, []any{1, 2, 3}, "6"},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/query",
+			map[string]any{"query": c.q, "binds": map[string]any{"v": c.bind}})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("bind %v: status %d: %s", c.bind, resp.StatusCode, body)
+			continue
+		}
+		if string(body) != c.want {
+			t.Errorf("bind %v: got %q, want %q", c.bind, body, c.want)
+		}
+	}
+}
+
+// TestServerErrorMapping: static errors are the client's fault (400),
+// dynamic errors are execution failures (500), and both carry their
+// W3C code in the JSON body.
+func TestServerErrorMapping(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	cases := []struct {
+		name   string
+		query  string
+		status int
+		code   string
+	}{
+		{"parse error", `for $x in`, http.StatusBadRequest, ""},
+		{"static error", `$undeclared`, http.StatusBadRequest, "XPST0008"},
+		{"dynamic error", `doc("missing.xml")//x`, http.StatusInternalServerError, "FODC0002"},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/query", map[string]any{"query": c.query})
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.status, body)
+			continue
+		}
+		if c.code != "" && !strings.Contains(string(body), c.code) {
+			t.Errorf("%s: body %s lacks code %s", c.name, body, c.code)
+		}
+	}
+}
+
+// slowQuery runs for seconds uncancelled; with a 50ms wire timeout the
+// server must answer 504 promptly, keep serving, and leak nothing.
+const slowQuery = `sum(for $i in 1 to 2000 return sum(for $j in 1 to 2000 return $i * $j))`
+
+func TestServerQueryTimeout(t *testing.T) {
+	ts, _ := newTestServer(t, Config{}, mxq.WithWorkers(4), mxq.WithParallelThreshold(1))
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/query",
+		map[string]any{"query": slowQuery, "timeout_ms": 50})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("timeout response took %v", elapsed)
+	}
+	// the server must still be healthy afterwards
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after timeout: %d", hresp.StatusCode)
+	}
+	// and the cancelled execution's workers must have drained
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 { // allow keep-alive conns
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after timeout", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerConcurrentSessions hammers one server with N clients × M
+// prepared statements; every response must be byte-identical to the
+// in-process result. Run under -race this doubles as the data-race
+// check on the session registry and the shared engine.
+func TestServerConcurrentSessions(t *testing.T) {
+	ts, db := newTestServer(t, Config{})
+	queries := []string{
+		xmark.Query(1),
+		xmark.Query(5),
+		xmark.Query(20),
+		`count(//item)`,
+	}
+	type session struct {
+		id   string
+		want string
+	}
+	sessions := make([]session, len(queries))
+	for i, q := range queries {
+		resp, body := postJSON(t, ts.URL+"/prepare", map[string]any{"query": q})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("prepare %d: %s", i, body)
+		}
+		var pr struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.QueryString(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = session{id: pr.ID, want: want}
+	}
+	const clients = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				s := sessions[(c+r)%len(sessions)]
+				resp, err := http.Post(ts.URL+"/stmt/"+s.id+"/exec", "application/json",
+					strings.NewReader(`{}`))
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d round %d: status %d: %s", c, r, resp.StatusCode, body)
+					return
+				}
+				if string(body) != s.want {
+					errs <- fmt.Errorf("client %d round %d: bytes differ from in-process result", c, r)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServerInflightLimit verifies load shedding: with one execution
+// slot, a second concurrent query is rejected with 503 up front.
+func TestServerInflightLimit(t *testing.T) {
+	ts, _ := newTestServer(t, Config{MaxInflight: 1})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// occupy the slot with a slow query (bounded by its own timeout)
+		postSlow, _ := json.Marshal(map[string]any{"query": slowQuery, "timeout_ms": 3000})
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(postSlow))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		<-release
+	}()
+	// wait until the slot is actually taken
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), "mxqd_inflight_queries 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(release)
+			t.Skip("slow query finished before the probe; cannot exercise the limit")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, body := postJSON(t, ts.URL+"/query", map[string]any{"query": `1+1`})
+	close(release)
+	<-done
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second query: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerMetrics spot-checks the exposition format.
+func TestServerMetrics(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	if resp, _ := postJSON(t, ts.URL+"/query", map[string]any{"query": `1+1`}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"mxqd_queries_total 1",
+		"mxqd_inflight_queries 0",
+		"mxqd_query_seconds_count 1",
+		"mxqd_plan_cache_misses_total",
+		`mxqd_query_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output lacks %q:\n%s", want, text)
+		}
+	}
+}

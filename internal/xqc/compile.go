@@ -15,6 +15,7 @@ import (
 
 	"mxq/internal/ralg"
 	"mxq/internal/scj"
+	"mxq/internal/xqerr"
 	"mxq/internal/xqp"
 	"mxq/internal/xqt"
 )
@@ -411,11 +412,11 @@ func (c *Compiler) compile(e xqp.Expr, sc *scope) (ralg.Plan, error) {
 		if q, ok := c.prologVar(x.Name, sc); ok {
 			return q, nil
 		}
-		return nil, fmt.Errorf("xquery error XPST0008: undeclared variable $%s", x.Name)
+		return nil, xqerr.Newf("XPST0008", "undeclared variable $%s", x.Name)
 	case *xqp.ContextItem:
 		b, ok := sc.vars["."]
 		if !ok {
-			return nil, fmt.Errorf("xquery error XPDY0002: no context item")
+			return nil, xqerr.Newf("XPDY0002", "no context item")
 		}
 		return b.plan, nil
 	case *xqp.Seq:

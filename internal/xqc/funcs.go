@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mxq/internal/ralg"
+	"mxq/internal/xqerr"
 	"mxq/internal/xqp"
 	"mxq/internal/xqt"
 )
@@ -19,7 +20,7 @@ func (c *Compiler) compileCall(x *xqp.Call, sc *scope) (ralg.Plan, error) {
 		return litSeq(sc.loop, xqt.Bool(false)), nil
 	case "doc", "collection":
 		if len(x.Args) != 1 {
-			return nil, fmt.Errorf("xquery error XPST0017: %s expects 1 argument", x.Name)
+			return nil, xqerr.Newf("XPST0017", "%s expects 1 argument", x.Name)
 		}
 		// fn:doc / fn:collection take xs:string?: a statically empty
 		// argument yields the empty sequence.
@@ -39,19 +40,20 @@ func (c *Compiler) compileCall(x *xqp.Call, sc *scope) (ralg.Plan, error) {
 			if _, err := c.compileArg(x, 0, sc); err != nil {
 				return nil, err
 			}
-			var msg string
+			var code, msg string
 			if s, multi := x.Args[0].(*xqp.Seq); multi && len(s.Items) > 1 {
 				// statically more than one item: the xs:string? type
 				// error, matching the naive oracle
-				msg = fmt.Sprintf("xquery error XPTY0004: %s() argument is a sequence of %d items", x.Name, len(s.Items))
+				code = "XPTY0004"
+				msg = fmt.Sprintf("%s() argument is a sequence of %d items", x.Name, len(s.Items))
 			} else {
-				code := "FODC0004: collection()"
+				code = "FODC0004"
 				if x.Name == "doc" {
-					code = "FODC0002: doc()"
+					code = "FODC0002"
 				}
-				msg = fmt.Sprintf("xquery error %s argument is not a constant string expression (this engine resolves %s names at plan time)", code, x.Name)
+				msg = fmt.Sprintf("%s() argument is not a constant string expression (this engine resolves %s names at plan time)", x.Name, x.Name)
 			}
-			root = &ralg.Fail{Msg: msg}
+			root = &ralg.Fail{Code: code, Msg: msg}
 		case x.Name == "doc":
 			root = &ralg.DocRoot{Doc: name}
 		default:
@@ -93,14 +95,14 @@ func (c *Compiler) compileCall(x *xqp.Call, sc *scope) (ralg.Plan, error) {
 		if b, ok := sc.vars["#last"]; ok {
 			return b.plan, nil
 		}
-		return nil, fmt.Errorf("xquery error XPDY0002: last() outside a predicate")
+		return nil, xqerr.Newf("XPDY0002", "last() outside a predicate")
 	case "position":
 		if b, ok := sc.vars["#pos"]; ok {
 			return b.plan, nil
 		}
-		return nil, fmt.Errorf("xquery error XPDY0002: position() outside a predicate")
+		return nil, xqerr.Newf("XPDY0002", "position() outside a predicate")
 	}
-	return nil, fmt.Errorf("xquery error XPST0017: unknown function %s#%d", x.Name, len(x.Args))
+	return nil, xqerr.Newf("XPST0017", "unknown function %s#%d", x.Name, len(x.Args))
 }
 
 // constString statically evaluates e to a string when it is constant-
@@ -148,7 +150,7 @@ func constString(e xqp.Expr) (string, bool) {
 
 func (c *Compiler) compileArg(x *xqp.Call, i int, sc *scope) (ralg.Plan, error) {
 	if i >= len(x.Args) {
-		return nil, fmt.Errorf("xquery error XPST0017: %s expects more than %d arguments", x.Name, len(x.Args))
+		return nil, xqerr.Newf("XPST0017", "%s expects more than %d arguments", x.Name, len(x.Args))
 	}
 	return c.compile(x.Args[i], sc)
 }
@@ -161,7 +163,7 @@ func (c *Compiler) compileArg(x *xqp.Call, i int, sc *scope) (ralg.Plan, error) 
 // this reproduction).
 func (c *Compiler) inlineUDF(f *xqp.FuncDecl, x *xqp.Call, sc *scope) (ralg.Plan, error) {
 	if len(x.Args) != len(f.Params) {
-		return nil, fmt.Errorf("xquery error XPST0017: %s expects %d arguments", f.Name, len(f.Params))
+		return nil, xqerr.Newf("XPST0017", "%s expects %d arguments", f.Name, len(f.Params))
 	}
 	if c.inlining[f.Name] {
 		return nil, fmt.Errorf("xqc: recursive user-defined function %s cannot be compiled relationally", f.Name)
@@ -279,7 +281,7 @@ func (c *Compiler) compileStringCmp(x *xqp.Call, sc *scope) (ralg.Plan, error) {
 
 func (c *Compiler) compileConcat(x *xqp.Call, sc *scope) (ralg.Plan, error) {
 	if len(x.Args) < 2 {
-		return nil, fmt.Errorf("xquery error XPST0017: concat expects at least 2 arguments")
+		return nil, xqerr.Newf("XPST0017", "concat expects at least 2 arguments")
 	}
 	acc, err := c.stringified(x, 0, sc)
 	if err != nil {

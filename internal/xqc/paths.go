@@ -5,6 +5,7 @@ import (
 
 	"mxq/internal/ralg"
 	"mxq/internal/scj"
+	"mxq/internal/xqerr"
 	"mxq/internal/xqp"
 	"mxq/internal/xqt"
 )
@@ -100,7 +101,7 @@ func (c *Compiler) compilePath(p *xqp.Path, sc *scope) (ralg.Plan, error) {
 		// a bare axis step evaluates against the context item
 		b, ok := sc.vars["."]
 		if !ok {
-			return nil, fmt.Errorf("xquery error XPDY0002: relative path with no context item")
+			return nil, xqerr.Newf("XPDY0002", "relative path with no context item")
 		}
 		ctx = b.plan
 	}

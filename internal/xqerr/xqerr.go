@@ -1,0 +1,37 @@
+// Package xqerr defines the typed XQuery error of the engine: a W3C
+// error code (XPST0008, XPDY0002, FODC0002, …) plus a human-readable
+// message. Every layer that mints a spec error — the parser, the
+// compiler, the executor, the naive oracle, the prepared-statement
+// validator — constructs it through Newf, so callers classify errors
+// with errors.As instead of string-sniffing, while Error() keeps the
+// exact "xquery error CODE: message" text the differential and
+// conformance suites compare.
+package xqerr
+
+import "fmt"
+
+// Error is a typed XQuery error. The zero Code means "no W3C code"; the
+// minting sites always set one.
+type Error struct {
+	// Code is the W3C error code, e.g. "XPST0008".
+	Code string
+	// Message is the human-readable description (without the
+	// "xquery error CODE:" prefix).
+	Message string
+}
+
+// Error renders the wire-stable error text shared by every engine.
+func (e *Error) Error() string { return "xquery error " + e.Code + ": " + e.Message }
+
+// Static reports whether the code names a static (compile-time) error:
+// the XPST and XQST classes. Everything else — dynamic errors (XPDY,
+// FO*, XQTY) — is raised at execution time. Servers use this to
+// distinguish "the query can never run" from "this execution failed".
+func (e *Error) Static() bool {
+	return len(e.Code) >= 4 && (e.Code[:4] == "XPST" || e.Code[:4] == "XQST")
+}
+
+// Newf mints a typed XQuery error with the given W3C code.
+func Newf(code, format string, args ...any) error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}

@@ -2,6 +2,7 @@ package xqp
 
 import (
 	"fmt"
+	"mxq/internal/xqerr"
 	"strconv"
 	"strings"
 )
@@ -128,7 +129,7 @@ func (p *parser) parseDecl(m *Module) error {
 		}
 		for _, prev := range m.Vars {
 			if prev.Name == vd.Name {
-				return fmt.Errorf("xquery error XQST0049: variable $%s declared more than once", vd.Name)
+				return xqerr.Newf("XQST0049", "variable $%s declared more than once", vd.Name)
 			}
 		}
 		m.Vars = append(m.Vars, vd)

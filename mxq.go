@@ -36,6 +36,7 @@
 package mxq
 
 import (
+	"context"
 	"io"
 	"strings"
 
@@ -223,6 +224,17 @@ type Result struct{ r *core.Result }
 // loaded documents.
 func (db *DB) Query(q string) (*Result, error) {
 	r, err := db.eng.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{r: r}, nil
+}
+
+// QueryContext is Query under a context: a deadline or cancellation
+// that fires mid-execution aborts the query at the executor's next
+// checkpoint and returns ctx.Err(), never a partial result.
+func (db *DB) QueryContext(ctx context.Context, q string) (*Result, error) {
+	r, err := db.eng.QueryContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}

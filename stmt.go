@@ -1,6 +1,8 @@
 package mxq
 
 import (
+	"context"
+
 	"mxq/internal/core"
 	"mxq/internal/ralg"
 	"mxq/internal/xqt"
@@ -131,7 +133,16 @@ func (s *Stmt) Bind(name string, v Value) *Stmt {
 // the result. Unbound externals fall back to their declared defaults;
 // a required external without a binding raises XPDY0002.
 func (s *Stmt) Exec() (*Result, error) {
-	r, err := s.p.Execute(s.binds)
+	return s.ExecContext(context.Background())
+}
+
+// ExecContext is Exec under a context: a deadline or cancellation that
+// fires mid-execution makes the executor abandon its work at the next
+// operator checkpoint and return ctx.Err() — never a partial result.
+// All parallel workers of the execution have drained by the time it
+// returns.
+func (s *Stmt) ExecContext(ctx context.Context) (*Result, error) {
+	r, err := s.p.ExecuteContext(ctx, s.binds)
 	if err != nil {
 		return nil, err
 	}
@@ -141,6 +152,16 @@ func (s *Stmt) Exec() (*Result, error) {
 // ExecString runs the statement and serializes the result.
 func (s *Stmt) ExecString() (string, error) {
 	r, err := s.Exec()
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}
+
+// ExecStringContext runs the statement under a context and serializes
+// the result.
+func (s *Stmt) ExecStringContext(ctx context.Context) (string, error) {
+	r, err := s.ExecContext(ctx)
 	if err != nil {
 		return "", err
 	}
