@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-ci fmt vet build test race race-cover bench bench-smoke serve-smoke fuzz-short cover
+.PHONY: check check-ci fmt vet build test race race-cover bench bench-smoke serve-smoke fuzz-short cover lint mxqlint verify
 
 # check is the CI gate: formatting, vet, build, and the full test suite
 # under the race detector (the parallel executor must stay race-clean).
@@ -9,6 +9,27 @@ check: fmt vet build race
 # check-ci is check with the race run also producing the coverage profile
 # (one suite execution on CI instead of separate race and cover passes).
 check-ci: fmt vet build race-cover
+
+# lint is the static-analysis gate: formatting, vet, the project
+# analyzers (docs/static-analysis.md), and — where the tool is
+# installed — govulncheck. No analyzer needs the network.
+lint: fmt vet mxqlint
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
+
+# mxqlint runs the project-specific analyzers (cancelcheck,
+# xqerrcheck, adoptcheck) over the whole module.
+mxqlint:
+	$(GO) run ./cmd/mxqlint .
+
+# verify runs the full suite with the planck plan verifier forced on:
+# every plan any test compiles is checked against the static invariants
+# before it executes.
+verify:
+	MXQ_VERIFY_PLANS=1 $(GO) test ./...
 
 fmt:
 	@unformatted=$$(gofmt -l .); \

@@ -151,6 +151,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("plan: %d relational algebra operators, %d joins\n", ops, joins)
+		tree, err := db.ExplainPlan(query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(tree)
 		return
 	}
 	// the prepared path is the only query path: -var values bind the

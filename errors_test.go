@@ -1,0 +1,52 @@
+package mxq
+
+import (
+	"errors"
+	"testing"
+)
+
+// End-to-end typed-error classification through the public API: a
+// compile-time failure carries a static QueryError, a runtime failure
+// a dynamic one, and foreign errors unwrap to nil.
+func TestAsQueryErrorClassifiesEndToEnd(t *testing.T) {
+	db := Open()
+	if err := db.LoadDocumentString("books.xml", bookDoc); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := db.Query(`$nope`)
+	qe := AsQueryError(err)
+	if qe == nil {
+		t.Fatalf("compile error %v carries no QueryError", err)
+	}
+	if !qe.Static() {
+		t.Errorf("undefined-variable error %s classified dynamic", qe.Code)
+	}
+
+	_, err = db.Query(`exactly-one(())`)
+	qe = AsQueryError(err)
+	if qe == nil {
+		t.Fatalf("runtime error %v carries no QueryError", err)
+	}
+	if qe.Static() {
+		t.Errorf("exactly-one cardinality error %s classified static", qe.Code)
+	}
+
+	if AsQueryError(errors.New("not a query error")) != nil {
+		t.Error("AsQueryError invented a QueryError from a plain error")
+	}
+	if AsQueryError(nil) != nil {
+		t.Error("AsQueryError(nil) != nil")
+	}
+
+	// errors.As through the exported alias works too — QueryError is
+	// the same type every internal layer mints. (Pure parse errors are
+	// the one untyped failure: they never reach the compiler, which is
+	// where code minting starts.)
+	var direct *QueryError
+	if _, err := db.Query(`$nope`); !errors.As(err, &direct) {
+		t.Errorf("compile error %v not errors.As-able to *QueryError", err)
+	} else if !direct.Static() {
+		t.Errorf("undefined-variable error %s classified dynamic", direct.Code)
+	}
+}

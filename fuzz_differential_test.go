@@ -41,8 +41,8 @@ type fuzzWorld struct {
 func buildFuzzWorld(t testing.TB, factor float64, ndocs, shards int) *fuzzWorld {
 	t.Helper()
 	w := &fuzzWorld{
-		serial:   mxq.Open(),
-		parallel: mxq.Open(mxq.WithWorkers(4), mxq.WithParallelThreshold(1)),
+		serial:   mxq.Open(mxq.WithVerifyPlans(true)),
+		parallel: mxq.Open(mxq.WithVerifyPlans(true), mxq.WithWorkers(4), mxq.WithParallelThreshold(1)),
 		oracle:   naive.New(),
 	}
 	for _, db := range []*mxq.DB{w.serial, w.parallel} {

@@ -30,10 +30,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"sync"
 
 	"mxq/internal/opt"
+	"mxq/internal/planck"
 	"mxq/internal/ralg"
 	"mxq/internal/store"
 	"mxq/internal/xqc"
@@ -71,6 +73,13 @@ type Config struct {
 	// ParallelThreshold is the minimum operator input size to go
 	// parallel; 0 means ralg.DefaultParThreshold.
 	ParallelThreshold int
+	// VerifyPlans runs the static plan verifier (internal/planck) over
+	// every compiled plan — the main plan and each prolog parameter
+	// initializer, before and after optimization — and fails compilation
+	// with a *planck.PlanInvariantError on any violation. Tests and the
+	// fuzzer keep it always on; production keeps it opt-in (also via the
+	// MXQ_VERIFY_PLANS environment variable, see New).
+	VerifyPlans bool
 }
 
 // DefaultConfig is the full-strength engine configuration (parallel
@@ -105,8 +114,15 @@ type Engine struct {
 	lastStats ralg.ExecStats
 }
 
-// New returns an engine with the given configuration.
+// New returns an engine with the given configuration. Setting the
+// MXQ_VERIFY_PLANS environment variable to a non-empty value other
+// than "0" force-enables Config.VerifyPlans — the hook CI uses to plan-
+// verify every query of the full test suite without threading a knob
+// through each test helper.
 func New(cfg Config) *Engine {
+	if v := os.Getenv("MXQ_VERIFY_PLANS"); v != "" && v != "0" {
+		cfg.VerifyPlans = true
+	}
 	e := &Engine{cfg: cfg, pool: store.NewPool(), optsKey: optionsKey(cfg)}
 	if cfg.PlanCache {
 		e.cache = newPlanCache(cfg.PlanCacheSize)
@@ -305,6 +321,11 @@ func (e *Engine) compile(q string) (*xqc.Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.cfg.VerifyPlans {
+		if err := verifyCompiled(cq); err != nil {
+			return nil, fmt.Errorf("core: compiler emitted an invalid plan for %q: %w", q, err)
+		}
+	}
 	if e.cfg.OrderAware {
 		cq.Plan = opt.Optimize(cq.Plan)
 		for i := range cq.Params {
@@ -312,11 +333,61 @@ func (e *Engine) compile(q string) (*xqc.Compiled, error) {
 				cq.Params[i].Init = opt.Optimize(cq.Params[i].Init)
 			}
 		}
+		if e.cfg.VerifyPlans {
+			if err := verifyCompiled(cq); err != nil {
+				return nil, fmt.Errorf("core: optimizer broke the plan for %q: %w", q, err)
+			}
+		}
 	}
 	if e.cache != nil {
 		e.cache.put(key, cq)
 	}
 	return cq, nil
+}
+
+// verifyCompiled runs the static plan verifier over the main plan and
+// every parameter initializer. Parameters are materialized in
+// declaration order, so initializer i may only reference parameters
+// declared before it; the main plan sees them all.
+func verifyCompiled(cq *xqc.Compiled) error {
+	visible := map[string]bool{}
+	for _, p := range cq.Params {
+		if p.Init != nil {
+			if err := planck.Verify(p.Init, planck.Config{Params: visible, RequireItem: true}); err != nil {
+				return fmt.Errorf("initializer of $%s: %w", p.Name, err)
+			}
+		}
+		visible[p.Name] = true
+	}
+	return planck.Verify(cq.Plan, planck.Config{Params: visible, RequireItem: true})
+}
+
+// ExplainPlan compiles q (hitting the plan cache like any compile) and
+// renders the optimized plan tree annotated with the statically
+// inferred schema and column properties of every operator.
+func (e *Engine) ExplainPlan(q string) (string, error) {
+	cq, err := e.compile(q)
+	if err != nil {
+		return "", err
+	}
+	visible := map[string]bool{}
+	var b strings.Builder
+	for _, p := range cq.Params {
+		if p.Init != nil {
+			s, err := planck.Explain(p.Init, planck.Config{Params: visible, RequireItem: true})
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "$%s :=\n%s", p.Name, s)
+		}
+		visible[p.Name] = true
+	}
+	s, err := planck.Explain(cq.Plan, planck.Config{Params: visible, RequireItem: true})
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(s)
+	return b.String(), nil
 }
 
 // Query evaluates q and returns its result: it prepares the query

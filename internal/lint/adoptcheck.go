@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AdoptCheck guards the public binding constructors: ralg.Bind* adopt
+// the vectors they are handed (zero-copy — the executor reads them on
+// every Execute), so a public mxq constructor that forwards a caller's
+// slice or variadic parameter uncopied creates aliasing the caller can
+// observe by mutating the slice after binding. Constructors must copy
+// first:
+//
+//	ralg.BindInts(append([]int64(nil), vs...)...)
+//
+// The copy idiom passes because the argument is a call expression, not
+// the bare parameter.
+var AdoptCheck = &Analyzer{
+	Name: "adoptcheck",
+	Doc:  "public mxq constructors must copy slice/variadic parameters before handing them to ralg.Bind* (which adopts, not copies)",
+	Run:  runAdoptCheck,
+}
+
+func runAdoptCheck(p *Package) []Diagnostic {
+	if p.Name != "mxq" {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sliceParams := map[string]bool{}
+			for _, field := range fd.Type.Params.List {
+				adopts := false
+				switch t := field.Type.(type) {
+				case *ast.Ellipsis:
+					adopts = true
+				case *ast.ArrayType:
+					adopts = t.Len == nil // slice, not array
+				}
+				if !adopts {
+					continue
+				}
+				for _, name := range field.Names {
+					sliceParams[name.Name] = true
+				}
+			}
+			if len(sliceParams) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgID, ok := sel.X.(*ast.Ident)
+				if !ok || pkgID.Name != "ralg" || !strings.HasPrefix(sel.Sel.Name, "Bind") {
+					return true
+				}
+				for _, arg := range call.Args {
+					id, ok := arg.(*ast.Ident)
+					if !ok || !sliceParams[id.Name] {
+						continue
+					}
+					diags = append(diags, p.diag("adoptcheck", arg,
+						"parameter %s escapes into ralg.%s uncopied; the engine adopts bound vectors — pass append([]T(nil), %s...)... instead", id.Name, sel.Sel.Name, id.Name))
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// wantRE extracts the expectation regex from a `// want "..."` comment
+// (analysistest convention: the comment sits on the line the analyzer
+// must flag, and its payload must match the diagnostic message).
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// CheckFixture loads a fixture directory (test files included), runs
+// one analyzer over it, and compares the diagnostics against the
+// `// want "regex"` comments in the fixture sources. It returns one
+// error string per mismatch: a diagnostic no want-comment expects, or
+// a want-comment no diagnostic satisfied.
+func CheckFixture(a *Analyzer, dir string) ([]string, error) {
+	p, err := LoadDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("lint: fixture dir %s holds no Go files", dir)
+	}
+
+	type want struct {
+		file    string
+		line    int
+		re      *regexp.Regexp
+		matched bool
+	}
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					pos := p.Fset.Position(c.Pos())
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+				}
+				pos := p.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+
+	var problems []string
+	for _, d := range a.Run(p) {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no %s diagnostic matched want %q", w.file, w.line, a.Name, w.re))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}

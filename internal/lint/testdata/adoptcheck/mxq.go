@@ -1,0 +1,28 @@
+// Fixture: adoptcheck — public binding constructors must copy before
+// handing caller slices to the adopting ralg.Bind* constructors.
+package mxq
+
+import "mxq/internal/ralg"
+
+type Value struct{ vec any }
+
+func Ints(vs ...int64) Value {
+	return Value{vec: ralg.BindInts(vs...)} // want "parameter vs escapes into ralg.BindInts uncopied"
+}
+
+func IntsCopied(vs ...int64) Value {
+	return Value{vec: ralg.BindInts(append([]int64(nil), vs...)...)}
+}
+
+func Strings(names []string) Value {
+	return Value{vec: ralg.BindStrings(names...)} // want "parameter names escapes into ralg.BindStrings uncopied"
+}
+
+func Scalar(v int64) Value {
+	return Value{vec: ralg.BindInts(v)}
+}
+
+func localSlice() Value {
+	vs := []int64{1, 2, 3}
+	return Value{vec: ralg.BindInts(vs...)} // a local, not a parameter: the caller cannot alias it
+}

@@ -1,0 +1,43 @@
+// Fixture: the scj side of cancelcheck — any function threading a
+// *Stats is a kernel and must poll (or reach a poll, or be exempt).
+package scj
+
+type Stats struct {
+	Touched int64
+	Stop    func() bool
+}
+
+func (st *Stats) stopped() bool { return st.Stop != nil && st.Stop() }
+
+type Pairs struct {
+	Pre  []int32
+	Iter []int32
+}
+
+func llBad(ctx Pairs, st *Stats) { // want "llBad: row loop never polls cancellation"
+	for range ctx.Pre {
+		st.Touched++
+	}
+}
+
+func llGood(ctx Pairs, st *Stats) {
+	for i := range ctx.Pre {
+		st.Touched++
+		if i&4095 == 4095 && st.stopped() {
+			break
+		}
+	}
+}
+
+// llDelegating reaches the poll through the kernel it calls.
+func llDelegating(ctx Pairs, st *Stats) {
+	for i := 0; i < 2; i++ {
+		llGood(ctx, st)
+	}
+}
+
+// noStats loops but does not thread the counters: not a kernel.
+func noStats(ctx Pairs) {
+	for range ctx.Pre {
+	}
+}

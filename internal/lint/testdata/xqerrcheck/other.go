@@ -1,0 +1,32 @@
+// Fixture: xqerrcheck — W3C error codes in bare error constructors.
+package other
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBare = errors.New("XPTY0004: sequence of more than one item") // want "error code XPTY0004 minted via bare errors.New"
+
+func dynamicErr(n int) error {
+	return fmt.Errorf("XPDY0002: context item undefined at step %d", n) // want "error code XPDY0002 minted via bare fmt.Errorf"
+}
+
+func staticErr() error {
+	return fmt.Errorf("err:XQST0039 duplicate parameter name") // want "error code XQST0039"
+}
+
+var errPlain = errors.New("shard count must be positive")
+
+func wrapped(err error) error {
+	return fmt.Errorf("loading document: %w", err)
+}
+
+// Near-miss shapes that must NOT fire: too-short code, lowercase,
+// different prefix, and a code embedded in a longer word.
+var (
+	errShort = errors.New("XPTY004 truncated")
+	errLower = errors.New("xpty0004 lowercased")
+	errOther = errors.New("SERR0001 not a W3C namespace")
+	errEmbed = errors.New("PREFIXPTY0004X embedded")
+)

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// XQErrCheck enforces error-code hygiene: W3C error codes (XPTY0004,
+// XQST0039, FORG0001, ...) carried in bare fmt.Errorf / errors.New
+// strings are invisible to errors.As/Is classification — the serving
+// layer maps them to the wrong HTTP status and the API cannot tell a
+// static error from a dynamic one. Any error carrying such a code must
+// be constructed through internal/xqerr, which is the one package
+// allowed to mint them.
+var XQErrCheck = &Analyzer{
+	Name: "xqerrcheck",
+	Doc:  "W3C error codes must be minted via internal/xqerr, not bare fmt.Errorf/errors.New strings",
+	Run:  runXQErrCheck,
+}
+
+var xqErrCodeRE = regexp.MustCompile(`\b(XP|XQ|FO)[A-Z]{2}[0-9]{4}\b`)
+
+func runXQErrCheck(p *Package) []Diagnostic {
+	if p.Name == "xqerr" {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			ctor := pkgID.Name + "." + sel.Sel.Name
+			if ctor != "fmt.Errorf" && ctor != "errors.New" {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			text, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if code := xqErrCodeRE.FindString(text); code != "" {
+				diags = append(diags, p.diag("xqerrcheck", call,
+					"error code %s minted via bare %s; construct it with internal/xqerr so callers can classify it", code, ctor))
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -163,6 +163,14 @@ func (o *optimizer) rewriteNode(p ralg.Plan) ralg.Plan {
 	switch n := p.(type) {
 	case *ralg.Sort:
 		in := o.in(n, 0)
+		for _, d := range n.Desc {
+			if d {
+				// covers/sortedPrefix only prove ascending orderings, so a
+				// sort with a descending component can neither be dropped
+				// nor turned into a refine sort from them
+				return n
+			}
+		}
 		if in.covers(n.By) {
 			return n.In // sort already satisfied: drop it
 		}
@@ -327,16 +335,29 @@ func (o *optimizer) infer(p ralg.Plan) *props {
 		in := o.in(n, 0)
 		pr.key = in.key
 		pr.cnst = in.cnst
-		pr.dense = in.dense
+		// a stable sort whose primary key is already the dense row
+		// sequence is the identity permutation, so density survives; any
+		// other sort may reorder rows, which breaks the in-row-order
+		// property even though the column values are unchanged
+		if len(n.By) > 0 && (len(n.Desc) == 0 || !n.Desc[0]) && in.dense[n.By[0]] {
+			pr.dense = in.dense
+		}
 		if n.Desc == nil {
 			pr.ords = append(pr.ords, n.By)
 		}
 		// a stable one-column sort preserves group orderings keyed by
-		// that column (within-group order is untouched)
+		// that column (within-group order is untouched), and turns every
+		// global input ordering into such a group ordering: rows with an
+		// equal sort key keep their relative — hence sorted — order
 		if len(n.By) == 1 {
 			for _, g := range in.grps {
 				if g.g == n.By[0] {
 					pr.grps = append(pr.grps, g)
+				}
+			}
+			for _, ord := range in.ords {
+				if len(ord) > 0 {
+					pr.grps = append(pr.grps, grpOrd{cols: ord, g: n.By[0]})
 				}
 			}
 		}
@@ -428,7 +449,8 @@ func (o *optimizer) infer(p ralg.Plan) *props {
 		pr.cnst = in.cnst
 	case *ralg.Distinct:
 		pr = clone(o.in(n, 0))
-		delete(pr.dense, "")
+		// dropping duplicate rows leaves gaps: density does not survive
+		pr.dense = map[string]bool{}
 	case *ralg.Aggr:
 		in := o.in(n, 0)
 		pr.key[n.Part] = true
@@ -442,11 +464,17 @@ func (o *optimizer) infer(p ralg.Plan) *props {
 	case *ralg.ExistJoin:
 		pr.ords = append(pr.ords, []string{n.Out1, n.Out2})
 	case *ralg.ElemConstruct:
+		// one output row per Loop row, in loop order: ordering and
+		// uniqueness of the iter column are inherited from the loop
+		// relation (an unconditional key claim would be unsound for a
+		// loop with duplicate iterations)
 		lp := o.props[n.Loop]
 		if lp != nil && lp.covers([]string{"iter"}) {
 			pr.ords = append(pr.ords, []string{"iter"})
 		}
-		pr.key["iter"] = true
+		if lp != nil && lp.key["iter"] {
+			pr.key["iter"] = true
+		}
 	case *ralg.RangeGen:
 		in := o.in(n, 0)
 		if in.covers([]string{n.Iter}) {

@@ -1,0 +1,281 @@
+package planck
+
+import (
+	"fmt"
+	"strings"
+
+	"mxq/internal/ralg"
+	"mxq/internal/scj"
+)
+
+// Explain renders the plan DAG rooted at root as an indented tree, each
+// operator annotated with planck's inferred output schema and the
+// optimizer-side column properties. Shared subplans are printed once
+// and referenced by number afterwards. When the plan violates an
+// invariant the tree is still rendered, with the violation appended.
+func Explain(root ralg.Plan, cfg Config) (string, error) {
+	infos, err := Analyze(root, cfg)
+	var b strings.Builder
+	ids := map[ralg.Plan]int{}
+	var rec func(n ralg.Plan, prefix, branch string)
+	rec = func(n ralg.Plan, prefix, branch string) {
+		if n == nil {
+			fmt.Fprintf(&b, "%s%s<nil>\n", prefix, branch)
+			return
+		}
+		if id, ok := ids[n]; ok {
+			fmt.Fprintf(&b, "%s%s#%d %s (shared)\n", prefix, branch, id, opLabel(n))
+			return
+		}
+		ids[n] = len(ids) + 1
+		fmt.Fprintf(&b, "%s%s#%d %s%s\n", prefix, branch, ids[n], opLabel(n), annotation(infos[n]))
+		ins := n.Inputs()
+		childPrefix := prefix
+		switch branch {
+		case "├── ":
+			childPrefix += "│   "
+		case "└── ":
+			childPrefix += "    "
+		}
+		for i, in := range ins {
+			cb := "├── "
+			if i == len(ins)-1 {
+				cb = "└── "
+			}
+			rec(in, childPrefix, cb)
+		}
+	}
+	rec(root, "", "")
+	if err != nil {
+		fmt.Fprintf(&b, "!! %v\n", err)
+	}
+	return b.String(), err
+}
+
+func annotation(info Info) string {
+	if info.Schema == nil {
+		return ""
+	}
+	var b strings.Builder
+	if info.Schema.Any {
+		b.WriteString("  [?]")
+	} else {
+		b.WriteString("  [")
+		for i, c := range info.Schema.Cols() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			ci := info.Schema.Info(c)
+			b.WriteString(c)
+			b.WriteByte(':')
+			switch {
+			case ci.Node:
+				b.WriteString("node")
+			case ci.TagKnown:
+				b.WriteString(ci.Tag.String())
+			default:
+				b.WriteString(kindStr(ci.Kind))
+			}
+		}
+		b.WriteString("]")
+	}
+	if cols := info.Props.DenseCols(); len(cols) > 0 {
+		fmt.Fprintf(&b, " dense{%s}", strings.Join(cols, ","))
+	}
+	if cols := info.Props.KeyCols(); len(cols) > 0 {
+		fmt.Fprintf(&b, " key{%s}", strings.Join(cols, ","))
+	}
+	if cols := info.Props.ConstCols(); len(cols) > 0 {
+		fmt.Fprintf(&b, " const{%s}", strings.Join(cols, ","))
+	}
+	// the inference keeps derived orderings un-deduplicated; render
+	// each distinct one once
+	seen := map[string]bool{}
+	for _, ord := range info.Props.Ords() {
+		s := fmt.Sprintf(" ord(%s)", strings.Join(ord, ","))
+		if !seen[s] {
+			seen[s] = true
+			b.WriteString(s)
+		}
+	}
+	for _, g := range info.Props.Grps() {
+		s := fmt.Sprintf(" grpord(%s; %s)", strings.Join(g.Cols, ","), g.Group)
+		if !seen[s] {
+			seen[s] = true
+			b.WriteString(s)
+		}
+	}
+	return b.String()
+}
+
+// opLabel renders one operator with its interesting annotations — more
+// detail than Plan.Name(), which only identifies the operator class.
+func opLabel(n ralg.Plan) string {
+	switch x := n.(type) {
+	case *ralg.Project:
+		refs := make([]string, len(x.Cols))
+		for i, r := range x.Cols {
+			if r.Src == r.Dst {
+				refs[i] = r.Src
+			} else {
+				refs[i] = r.Src + "->" + r.Dst
+			}
+		}
+		return "project(" + strings.Join(refs, ",") + ")"
+	case *ralg.Attach:
+		return fmt.Sprintf("attach(%s:%s)", x.Col, kindStr(x.Kind))
+	case *ralg.Select:
+		if x.Neg {
+			return fmt.Sprintf("select(!%s)", x.Cond)
+		}
+		return fmt.Sprintf("select(%s)", x.Cond)
+	case *ralg.Fun:
+		name := fmt.Sprintf("fun(%d)", x.Op)
+		if spec, ok := funSpecs[x.Op]; ok {
+			name = spec.name
+		}
+		return fmt.Sprintf("%s(%s := %s)", name, x.Out, strings.Join(x.Args, ","))
+	case *ralg.RowNum:
+		mode := ""
+		switch x.Mode {
+		case ralg.RankStream:
+			mode = " stream"
+		case ralg.RankSeq:
+			mode = " seq"
+		}
+		part := ""
+		if x.Part != "" {
+			part = " part " + x.Part
+		}
+		return fmt.Sprintf("rownum(%s := rank by %s%s%s)", x.Out, orderList(x.OrderBy, x.Desc), part, mode)
+	case *ralg.Sort:
+		refine := ""
+		if x.RefinePrefix > 0 {
+			refine = fmt.Sprintf(" refine=%d", x.RefinePrefix)
+		}
+		return fmt.Sprintf("sort(%s%s)", orderList(x.By, x.Desc), refine)
+	case *ralg.HashJoin:
+		mode := ""
+		if x.Pos {
+			mode = " pos"
+		}
+		if x.PosLeft {
+			mode = " posleft"
+		}
+		return fmt.Sprintf("join(%s = %s%s)", x.LKey, x.RKey, mode)
+	case *ralg.ExistJoin:
+		return fmt.Sprintf("existjoin(%s %s %s -> %s,%s)", x.LItem, x.Cmp, x.RItem, x.Out1, x.Out2)
+	case *ralg.Cross:
+		return "cross"
+	case *ralg.Union:
+		return fmt.Sprintf("union(%d)", len(x.Ins))
+	case *ralg.Diff:
+		return fmt.Sprintf("diff(%s \\ %s)", x.LKey, x.RKey)
+	case *ralg.Distinct:
+		mode := ""
+		if x.Merge {
+			mode = " merge"
+		}
+		return fmt.Sprintf("distinct(%s%s)", strings.Join(x.By, ","), mode)
+	case *ralg.Aggr:
+		return fmt.Sprintf("aggr(%s := %s(%s) part %s)", x.Out, aggName(x.Op), x.Arg, x.Part)
+	case *ralg.Step:
+		return fmt.Sprintf("step(%s::%s%s)", x.Axis, testName(x.Test), stepVariant(x.Variant))
+	case *ralg.AttrStep:
+		name := x.NameTest
+		if name == "" {
+			name = "*"
+		}
+		return fmt.Sprintf("step(attribute::%s)", name)
+	case *ralg.ElemConstruct:
+		return fmt.Sprintf("elem(<%s>, %d attrs)", x.Tag, len(x.Attrs))
+	case *ralg.ColToItem:
+		return fmt.Sprintf("coltoitem(%s := %s)", x.Dst, x.Src)
+	case *ralg.RangeGen:
+		return fmt.Sprintf("rangegen(%s to %s by %s)", x.Lo, x.Hi, x.Iter)
+	case *ralg.CoverCheck:
+		return fmt.Sprintf("covercheck(%s ⊇ %s, %s)", x.Part, x.LoopIter, x.Fn)
+	case *ralg.EBV:
+		return fmt.Sprintf("ebv(%s := %s part %s)", x.Out, x.Item, x.Part)
+	case *ralg.CardCheck:
+		return fmt.Sprintf("cardcheck(part %s, %s)", x.Part, x.Fn)
+	case *ralg.Fail:
+		return fmt.Sprintf("fail(%s)", x.Code)
+	case *ralg.ParamTable:
+		return fmt.Sprintf("param($%s)", x.Var)
+	case *ralg.DocRoot:
+		return fmt.Sprintf("doc(%q)", x.Doc)
+	case *ralg.ContextRoot:
+		return "ctxroot"
+	case *ralg.CollectionRoot:
+		return fmt.Sprintf("collection(%q)", x.Coll)
+	case *ralg.Lit:
+		rows := 0
+		if x.Tab != nil {
+			rows = x.Tab.N
+		}
+		return fmt.Sprintf("lit(%d rows)", rows)
+	}
+	return n.Name()
+}
+
+func orderList(by []string, desc []bool) string {
+	parts := make([]string, len(by))
+	for i, c := range by {
+		parts[i] = c
+		if i < len(desc) && desc[i] {
+			parts[i] += " desc"
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func aggName(op ralg.AggOp) string {
+	switch op {
+	case ralg.AggCount:
+		return "count"
+	case ralg.AggSum:
+		return "sum"
+	case ralg.AggMin:
+		return "min"
+	case ralg.AggMax:
+		return "max"
+	case ralg.AggAvg:
+		return "avg"
+	}
+	return fmt.Sprintf("agg(%d)", op)
+}
+
+func testName(t scj.Test) string {
+	switch t.Kind {
+	case scj.TestNode:
+		return "node()"
+	case scj.TestElem:
+		if t.Name == "" {
+			return "*"
+		}
+		return t.Name
+	case scj.TestText:
+		return "text()"
+	case scj.TestComment:
+		return "comment()"
+	case scj.TestPI:
+		if t.Name != "" {
+			return fmt.Sprintf("processing-instruction(%s)", t.Name)
+		}
+		return "processing-instruction()"
+	case scj.TestDoc:
+		return "document-node()"
+	}
+	return fmt.Sprintf("test(%d)", t.Kind)
+}
+
+func stepVariant(v scj.Variant) string {
+	switch v {
+	case scj.Iterative:
+		return " iterative"
+	case scj.CandidateList:
+		return " candidates"
+	}
+	return ""
+}

@@ -182,9 +182,9 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 	case *Union:
 		return execUnion(in), nil
 	case *Diff:
-		return execDiff(n, in[0], in[1]), nil
+		return e.execDiff(n, in[0], in[1]), nil
 	case *Distinct:
-		return execDistinct(n, in[0]), nil
+		return e.execDistinct(n, in[0]), nil
 	case *Aggr:
 		return e.execAggr(n, in[0])
 	case *Step:
@@ -194,7 +194,7 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 	case *ElemConstruct:
 		return e.execElem(n, in)
 	case *EBV:
-		return execEBV(n, in[0])
+		return e.execEBV(n, in[0])
 	case *CardCheck:
 		return execCardCheck(n, in[0])
 	case *ColToItem:
@@ -207,6 +207,7 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 	return nil, fmt.Errorf("ralg: unknown operator %T", p)
 }
 
+// cancelcheck:exempt zero-copy column view plus one memory-bound flag copy
 func execColToItem(n *ColToItem, in *Table) *Table {
 	src := in.Col(n.Src)
 	var v ItemVec
@@ -268,6 +269,7 @@ func (e *Exec) execRangeGen(n *RangeGen, in *Table) (*Table, error) {
 	return out, nil
 }
 
+// cancelcheck:exempt two memory-bound integer-column scans
 func execCoverCheck(n *CoverCheck, loop, in *Table) (*Table, error) {
 	have := make(map[int64]bool, in.N)
 	for _, it := range in.Ints(n.Part) {
@@ -314,6 +316,7 @@ func (e *Exec) execContextRoot() (*Table, error) {
 // item) table. The item vector is shared with the binding environment
 // (vectors are immutable once built), so binding N values costs O(N)
 // pos integers and nothing else.
+// cancelcheck:exempt fills one dense pos column, memory-bound
 func (e *Exec) execParam(n *ParamTable) (*Table, error) {
 	v, ok := e.Bindings[n.Var]
 	if !ok {
@@ -330,6 +333,7 @@ func (e *Exec) execParam(n *ParamTable) (*Table, error) {
 	return t, nil
 }
 
+// cancelcheck:exempt loops over collection shards, not rows
 func (e *Exec) execCollectionRoot(n *CollectionRoot) (*Table, error) {
 	sp, ok := e.Pool.Collection(n.Coll)
 	if !ok {
@@ -350,6 +354,7 @@ func (e *Exec) execCollectionRoot(n *CollectionRoot) (*Table, error) {
 	return t, nil
 }
 
+// cancelcheck:exempt per-column header remap, no per-row work
 func execProject(n *Project, in *Table) (*Table, error) {
 	out := &Table{N: in.N}
 	for _, ref := range n.Cols {
@@ -362,6 +367,7 @@ func execProject(n *Project, in *Table) (*Table, error) {
 	return out, nil
 }
 
+// cancelcheck:exempt memory-bound constant-column fill
 func execAttach(n *Attach, in *Table) *Table {
 	out := &Table{N: in.N, names: append([]string(nil), in.names...), cols: append([]Col(nil), in.cols...)}
 	c := Col{Kind: n.Kind}
@@ -389,6 +395,9 @@ func (e *Exec) execSelect(n *Select, in *Table) *Table {
 	if !e.Par.on(in.N) {
 		idx := make([]int32, 0, in.N/2)
 		for i, b := range cond {
+			if i&8191 == 8191 && e.stopRequested() {
+				break // Run's post-operator checkpoint discards the partial table
+			}
 			if b != n.Neg {
 				idx = append(idx, int32(i))
 			}
@@ -451,6 +460,9 @@ func (e *Exec) execRowNum(n *RowNum, in *Table) *Table {
 		} else {
 			ctr := make(map[int64]int64, 64)
 			for i := range rank {
+				if i&8191 == 8191 && e.stopRequested() {
+					break // Run's post-operator checkpoint discards the partial table
+				}
 				ctr[part[i]]++
 				rank[i] = ctr[part[i]]
 			}
@@ -624,6 +636,7 @@ func (e *Exec) execCross(n *Cross, l, r *Table) (*Table, error) {
 	return e.joinGather(l, r, n.LCols, n.RCols, lidx, ridx)
 }
 
+// cancelcheck:exempt memory-bound column concatenation
 func execUnion(in []*Table) *Table {
 	first := in[0]
 	out := &Table{}
@@ -650,13 +663,19 @@ func execUnion(in []*Table) *Table {
 	return out
 }
 
-func execDiff(n *Diff, l, r *Table) *Table {
+func (e *Exec) execDiff(n *Diff, l, r *Table) *Table {
 	rset := make(map[int64]bool, r.N)
-	for _, k := range r.Ints(n.RKey) {
+	for i, k := range r.Ints(n.RKey) {
+		if i&8191 == 8191 && e.stopRequested() {
+			break // Run's post-operator checkpoint discards the partial table
+		}
 		rset[k] = true
 	}
 	var idx []int32
 	for i, k := range l.Ints(n.LKey) {
+		if i&8191 == 8191 && e.stopRequested() {
+			break
+		}
 		if !rset[k] {
 			idx = append(idx, int32(i))
 		}
@@ -664,7 +683,7 @@ func execDiff(n *Diff, l, r *Table) *Table {
 	return l.Gather(idx)
 }
 
-func execDistinct(n *Distinct, in *Table) *Table {
+func (e *Exec) execDistinct(n *Distinct, in *Table) *Table {
 	cols := make([]*Col, len(n.By))
 	for i, name := range n.By {
 		cols[i] = in.Col(name)
@@ -672,6 +691,9 @@ func execDistinct(n *Distinct, in *Table) *Table {
 	var idx []int32
 	if n.Merge {
 		for i := 0; i < in.N; i++ {
+			if i&8191 == 8191 && e.stopRequested() {
+				break // Run's post-operator checkpoint discards the partial table
+			}
 			if i == 0 || compareRows(in, cols, nil, int32(i-1), int32(i)) != 0 {
 				idx = append(idx, int32(i))
 			}
@@ -684,6 +706,9 @@ func execDistinct(n *Distinct, in *Table) *Table {
 		seen := make(map[string]bool, in.N)
 		var key []byte
 		for i := 0; i < in.N; i++ {
+			if i&4095 == 4095 && e.stopRequested() {
+				break
+			}
 			key = key[:0]
 			for _, enc := range encs {
 				key = enc(key, int32(i))
@@ -1156,7 +1181,12 @@ func (e *Exec) attrStepRange(n *AttrStep, iters []int64, items *ItemVec, lo, hi 
 	var ic []int64
 	var tc ItemVec
 	i := lo
+	runs := 0
 	for i < hi {
+		runs++
+		if runs&4095 == 4095 && e.stopRequested() {
+			break // the caller's partial output is discarded at Run's checkpoint
+		}
 		if items.KindAt(i) != xqt.KNode {
 			i++
 			continue
@@ -1187,14 +1217,19 @@ func (e *Exec) attrStepRange(n *AttrStep, iters []int64, items *ItemVec, lo, hi 
 	return ic, tc
 }
 
-func execEBV(n *EBV, in *Table) (*Table, error) {
+func (e *Exec) execEBV(n *EBV, in *Table) (*Table, error) {
 	part := in.Ints(n.Part)
 	items := in.ItemVec(n.Item)
 	out := NewTable([]string{n.Part, n.Out}, []ColKind{KInt, KBool})
 	pc := out.Col(n.Part)
 	bc := out.Col(n.Out)
 	i := 0
+	groups := 0
 	for i < len(part) {
+		groups++
+		if groups&8191 == 8191 && e.stopRequested() {
+			break // Run's post-operator checkpoint discards the partial table
+		}
 		j := i
 		for j < len(part) && part[j] == part[i] {
 			j++
@@ -1237,6 +1272,7 @@ func ebvAtom(it xqt.Item) bool {
 	return true
 }
 
+// cancelcheck:exempt memory-bound adjacent-equality scan
 func execCardCheck(n *CardCheck, in *Table) (*Table, error) {
 	if n.AtMostOne {
 		part := in.Ints(n.Part)

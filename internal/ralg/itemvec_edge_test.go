@@ -72,7 +72,7 @@ func TestItemVecEmptyColumns(t *testing.T) {
 		if srt.N != 0 {
 			t.Fatalf("%s: sort over empty column returned %d rows", name, srt.N)
 		}
-		d := execDistinct(&Distinct{By: []string{"item"}}, tab)
+		d := NewExec(nil, nil).execDistinct(&Distinct{By: []string{"item"}}, tab)
 		if d.N != 0 {
 			t.Fatalf("%s: distinct over empty column returned %d rows", name, d.N)
 		}

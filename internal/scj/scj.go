@@ -395,6 +395,9 @@ func llSelf(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, s
 func llParent(c *store.Container, ctx Pairs, match func(int32) bool, out *Pairs, st *Stats) {
 	seen := make(map[int64]bool)
 	for i := 0; i < ctx.Len(); i++ {
+		if i&4095 == 4095 && st.stopped() {
+			break // the truncated output is discarded by the caller
+		}
 		par := c.Parent[ctx.Pre[i]]
 		if par < 0 {
 			continue

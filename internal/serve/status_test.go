@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"mxq/internal/xqerr"
+)
+
+// execStatus is the server's whole error taxonomy: 504 for deadline or
+// disconnect, 400 for static query errors (the query can never run),
+// 500 for everything else including dynamic query errors.
+func TestExecStatusMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"canceled", context.Canceled, http.StatusGatewayTimeout},
+		{"wrapped deadline", fmt.Errorf("executing: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"static error", xqerr.Newf("XPST0008", "undefined name"), http.StatusBadRequest},
+		{"wrapped static", fmt.Errorf("compile: %w", xqerr.Newf("XQST0039", "dup param")), http.StatusBadRequest},
+		{"dynamic error", xqerr.Newf("XPDY0002", "no context item"), http.StatusInternalServerError},
+		{"cast error", xqerr.Newf("FORG0001", "bad cast"), http.StatusInternalServerError},
+		{"plain error", errors.New("disk on fire"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := execStatus(tc.err); got != tc.want {
+			t.Errorf("%s: execStatus(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// A static error that also wraps a cancellation sentinel counts as a
+// timeout: the 504 check runs first, deliberately, so a query killed
+// mid-compile by disconnect is not misreported as a client error.
+func TestExecStatusCancellationWins(t *testing.T) {
+	err := fmt.Errorf("%w: %w", context.Canceled, xqerr.Newf("XPST0008", "x"))
+	if got := execStatus(err); got != http.StatusGatewayTimeout {
+		t.Errorf("execStatus = %d, want 504", got)
+	}
+}

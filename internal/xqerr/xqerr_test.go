@@ -1,0 +1,71 @@
+package xqerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNewfMintsTypedError(t *testing.T) {
+	err := Newf("XPDY0002", "context item undefined in %s", "step")
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("Newf result is not an *Error: %T", err)
+	}
+	if e.Code != "XPDY0002" {
+		t.Errorf("Code = %q, want XPDY0002", e.Code)
+	}
+	if got, want := e.Error(), "xquery error XPDY0002: context item undefined in step"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}
+
+// The typed error must survive fmt.Errorf %w wrapping — that is the
+// whole point of minting it as a type instead of a string.
+func TestErrorSurvivesWrapping(t *testing.T) {
+	inner := Newf("FORG0001", "cannot cast %q to xs:double", "abc")
+	wrapped := fmt.Errorf("executing query: %w", fmt.Errorf("operator fun: %w", inner))
+	var e *Error
+	if !errors.As(wrapped, &e) {
+		t.Fatalf("errors.As failed through two wrap layers: %v", wrapped)
+	}
+	if e.Code != "FORG0001" {
+		t.Errorf("Code = %q, want FORG0001", e.Code)
+	}
+	if !errors.Is(wrapped, inner) {
+		t.Error("errors.Is(wrapped, inner) = false")
+	}
+}
+
+// Static classifies by code class: XPST/XQST are compile-time, the
+// dynamic and function-library classes are not.
+func TestStaticClassification(t *testing.T) {
+	cases := map[string]bool{
+		"XPST0008": true,  // undefined name
+		"XQST0039": true,  // duplicate parameter
+		"XPST0003": true,  // grammar
+		"XPDY0002": false, // dynamic context
+		"XPTY0004": false, // type error at runtime
+		"FORG0001": false, // cast failure
+		"FOAR0001": false, // division by zero
+		"XQTY0024": false, // content type
+		"":         false, // zero code
+		"XPS":      false, // too short to classify
+	}
+	for code, want := range cases {
+		e := &Error{Code: code, Message: "m"}
+		if got := e.Static(); got != want {
+			t.Errorf("Static(%q) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+// Distinct codes are distinct errors under errors.Is, even with the
+// same message: identity is by pointer, classification by errors.As.
+func TestDistinctErrorsNotIs(t *testing.T) {
+	a := Newf("XPDY0002", "m")
+	b := Newf("XPST0008", "m")
+	if errors.Is(a, b) {
+		t.Error("errors distinguishable only by code compare as Is-equal")
+	}
+}

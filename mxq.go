@@ -128,6 +128,17 @@ func WithPlanCacheSize(n int) Option {
 	return func(c *core.Config) { c.PlanCacheSize = n }
 }
 
+// WithVerifyPlans runs the static plan verifier over every compiled
+// plan (before and after optimization): a plan violating the operator
+// schema/property invariants fails compilation with a structured
+// *planck.PlanInvariantError instead of reaching the executor. Tests
+// and the fuzzer keep it on; production use is opt-in (compilation
+// cost, not execution cost). The MXQ_VERIFY_PLANS environment variable
+// force-enables it regardless of this option.
+func WithVerifyPlans(on bool) Option {
+	return func(c *core.Config) { c.VerifyPlans = on }
+}
+
 // Open returns a new engine instance with all paper optimizations
 // enabled, modified by the given options.
 func Open(opts ...Option) *DB {
@@ -262,6 +273,13 @@ func (r *Result) Items() []xqt.Item { return r.r.Items }
 // in the compiled plan of q (the paper's §4.1 plan statistics).
 func (db *DB) PlanStats(q string) (ops, joins int, err error) {
 	return db.eng.PlanStats(q)
+}
+
+// ExplainPlan compiles q and renders the optimized plan tree, each
+// operator annotated with its statically inferred output schema and
+// column properties (the planck analysis `xq -explain` prints).
+func (db *DB) ExplainPlan(q string) (string, error) {
+	return db.eng.ExplainPlan(q)
 }
 
 // Engine exposes the underlying engine for benchmarks and tools.

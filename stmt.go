@@ -55,7 +55,9 @@ func Strings(vs ...string) Value {
 // Items builds a value from raw items — e.g. a node sequence obtained
 // from a previous Result on the same DB. Node items are only
 // meaningful to the DB whose documents they reference.
-func Items(items ...xqt.Item) Value { return Value{vec: ralg.BindItems(items...)} }
+func Items(items ...xqt.Item) Value {
+	return Value{vec: ralg.BindItems(append([]xqt.Item(nil), items...)...)}
+}
 
 // Sequence concatenates values into one sequence value (XQuery
 // sequences do not nest).
