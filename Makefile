@@ -55,19 +55,24 @@ race-cover:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# bench-smoke runs the prepared-vs-cold statement benchmark once: a
-# fast CI gate on the serving-path API (Prepare/bind/execute must stay
-# strictly cheaper than cold parse+compile+execute).
+# bench-smoke runs the serving-path benchmarks once: prepared-vs-cold
+# (Prepare/bind/execute must stay strictly cheaper than cold
+# parse+compile+execute) and the oversubscribed-scheduler family
+# (4×GOMAXPROCS concurrent executions, free-spawning vs the shared
+# slot pool). A fast CI gate that records the sched numbers per run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'PreparedVsCold' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'PreparedVsCold|SchedOversubscribed' -benchtime 1x .
 
 # serve-smoke boots the mxqd daemon on a loopback port and drives the
 # example wire client through a full session against it (healthz,
 # prepare, typed binds, exec, close) — the end-to-end gate on the HTTP
-# serving layer. The client retries healthz, so no sleep race.
+# serving layer. The daemon runs with parallel execution on so the
+# session exercises the global scheduler (admission, budgets, shared
+# slot pool), not just the serial path. The client retries healthz, so
+# no sleep race.
 serve-smoke:
 	$(GO) build -o mxqd.smoke ./cmd/mxqd
-	./mxqd.smoke -addr 127.0.0.1:18099 -xmark 0.002 & \
+	./mxqd.smoke -addr 127.0.0.1:18099 -xmark 0.002 -parallel & \
 	pid=$$!; \
 	$(GO) run ./examples/server -addr 127.0.0.1:18099; \
 	status=$$?; \

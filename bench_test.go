@@ -19,6 +19,7 @@ import (
 	"mxq/internal/naive"
 	"mxq/internal/pages"
 	"mxq/internal/ralg"
+	"mxq/internal/sched"
 	"mxq/internal/scj"
 	"mxq/internal/store"
 	"mxq/internal/xmark"
@@ -222,6 +223,42 @@ func BenchmarkPreparedVsCold(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkSchedOversubscribed measures the global query scheduler
+// under 4× oversubscription: 4×GOMAXPROCS goroutines execute the same
+// prepared statement against a parallel engine, once free-spawning
+// (every execution builds its own worker set) and once under a shared
+// scheduler (bounded slot pool, cost-derived budgets). The delta is
+// the scheduling overhead; the point is that the scheduled run keeps
+// live workers bounded by the pool size instead of clients×workers
+// (`make bench-smoke` runs this family once in CI).
+func BenchmarkSchedOversubscribed(b *testing.B) {
+	run := func(b *testing.B, eng *core.Engine) {
+		p, err := eng.Prepare(xmark.Query(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.SetParallelism(4) // 4× GOMAXPROCS concurrent executions
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := p.Execute(nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+	b.Run("free", func(b *testing.B) {
+		run(b, engineWith(core.ParallelConfig(), benchFactor))
+	})
+	b.Run("scheduled", func(b *testing.B) {
+		cfg := core.ParallelConfig()
+		cfg.Scheduler = sched.New(sched.Config{})
+		run(b, engineWith(cfg, benchFactor))
 	})
 }
 

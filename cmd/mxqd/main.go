@@ -46,21 +46,33 @@ func (d *docFlags) Set(s string) error {
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
-		docs        docFlags
-		xmarkFactor = flag.Float64("xmark", 0, "load a generated XMark document at this scale factor (0 = off)")
-		xmarkSeed   = flag.Int64("xmark-seed", 42, "XMark generator seed")
-		parallel    = flag.Bool("parallel", false, "enable intra-query parallel execution")
-		workers     = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
-		timeout     = flag.Duration("timeout", serve.DefaultQueryTimeout, "default per-query timeout")
-		maxTimeout  = flag.Duration("max-timeout", serve.DefaultMaxTimeout, "cap on client-requested timeouts")
-		maxInflight = flag.Int("max-inflight", serve.DefaultMaxInflight, "max concurrently executing queries")
-		maxConns    = flag.Int("max-conns", 0, "max open client connections (0 = unlimited)")
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		docs         docFlags
+		xmarkFactor  = flag.Float64("xmark", 0, "load a generated XMark document at this scale factor (0 = off)")
+		xmarkSeed    = flag.Int64("xmark-seed", 42, "XMark generator seed")
+		parallel     = flag.Bool("parallel", false, "enable intra-query parallel execution")
+		workers      = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", serve.DefaultQueryTimeout, "default per-query timeout")
+		maxTimeout   = flag.Duration("max-timeout", serve.DefaultMaxTimeout, "cap on client-requested timeouts")
+		maxInflight  = flag.Int("max-inflight", serve.DefaultMaxInflight, "max concurrently executing queries")
+		queueDepth   = flag.Int("queue-depth", 0, "max requests queued for an execution slot (0 = 2x max-inflight, negative = reject instantly)")
+		schedWorkers = flag.Int("sched-workers", 0, "global worker-slot pool shared by all executions (0 = GOMAXPROCS)")
+		maxStmts     = flag.Int("max-stmts", serve.DefaultMaxStmts, "max live prepared statements before LRU eviction")
+		stmtTTL      = flag.Duration("stmt-ttl", serve.DefaultStmtTTL, "evict prepared statements idle this long (negative = never)")
+		maxConns     = flag.Int("max-conns", 0, "max open client connections (0 = unlimited)")
 	)
 	flag.Var(&docs, "doc", "load an XML document, name=path (repeatable)")
 	flag.Parse()
 
-	var opts []mxq.Option
+	// The daemon always runs under a global scheduler: admission and the
+	// worker budget come from one place whether execution is serial or
+	// parallel, and N in-flight queries never claim N×cores goroutines.
+	scheduler := mxq.NewScheduler(mxq.SchedulerConfig{
+		Workers:       *schedWorkers,
+		MaxConcurrent: *maxInflight,
+		MaxQueue:      *queueDepth,
+	})
+	opts := []mxq.Option{mxq.WithScheduler(scheduler)}
 	if *parallel {
 		opts = append(opts, mxq.WithParallel(true))
 	}
@@ -88,6 +100,9 @@ func main() {
 
 	srv := serve.New(db, serve.Config{
 		MaxInflight:    *maxInflight,
+		MaxQueue:       *queueDepth,
+		MaxStmts:       *maxStmts,
+		StmtTTL:        *stmtTTL,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	})

@@ -37,6 +37,7 @@ import (
 	"mxq/internal/opt"
 	"mxq/internal/planck"
 	"mxq/internal/ralg"
+	"mxq/internal/sched"
 	"mxq/internal/store"
 	"mxq/internal/xqc"
 	"mxq/internal/xqp"
@@ -73,6 +74,15 @@ type Config struct {
 	// ParallelThreshold is the minimum operator input size to go
 	// parallel; 0 means ralg.DefaultParThreshold.
 	ParallelThreshold int
+	// Scheduler, when set, is the global query scheduler the engine's
+	// executions run under: every ExecuteContext admits itself (bounded
+	// concurrency, deadline-aware queueing) and draws its parallel
+	// workers from the scheduler's shared slot pool under a cost-derived
+	// budget, so N concurrent queries never claim N×Workers goroutines.
+	// One scheduler may be shared by several engines. Nil keeps the
+	// unscheduled behavior: executions run immediately with a private
+	// Workers-sized pool each.
+	Scheduler *sched.Scheduler
 	// VerifyPlans runs the static plan verifier (internal/planck) over
 	// every compiled plan — the main plan and each prolog parameter
 	// initializer, before and after optimization — and fails compilation
@@ -143,6 +153,10 @@ func optionsKey(cfg Config) string {
 // Callers must not register containers directly while queries are in
 // flight; use LoadContainer.
 func (e *Engine) Pool() *store.Pool { return e.pool }
+
+// Scheduler returns the global query scheduler the engine runs under,
+// or nil when executions are unscheduled.
+func (e *Engine) Scheduler() *sched.Scheduler { return e.cfg.Scheduler }
 
 // parOptions resolves the configured parallelism knobs against the
 // ralg defaults.

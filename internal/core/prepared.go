@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mxq/internal/ralg"
+	"mxq/internal/sched"
 	"mxq/internal/store"
 	"mxq/internal/xqc"
 	"mxq/internal/xqerr"
@@ -26,6 +27,10 @@ type Prepared struct {
 	eng   *Engine
 	query string
 	cq    *xqc.Compiled
+	// ops/joins are the main plan's cost hints, counted once at prepare
+	// time; the scheduler derives each execution's worker budget from
+	// them (plus the snapshot size, known only at execution time).
+	ops, joins int
 }
 
 // Prepare parses, compiles and optimizes q into a reusable statement
@@ -37,7 +42,8 @@ func (e *Engine) Prepare(q string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{eng: e, query: q, cq: cq}, nil
+	ops, joins := ralg.CountOps(cq.Plan)
+	return &Prepared{eng: e, query: q, cq: cq, ops: ops, joins: joins}, nil
 }
 
 // Query returns the query text the statement was prepared from.
@@ -90,6 +96,15 @@ func (p *Prepared) Execute(b Bindings) (*Result, error) {
 // drain (the worker pool is a fork-join barrier), and the call returns
 // ctx.Err() — never a partial result. A nil ctx behaves like
 // context.Background().
+//
+// Under an engine scheduler (Config.Scheduler) the execution first
+// admits itself — waiting, deadline-aware, for an execution slot and
+// failing with sched.ErrQueueFull when the admission queue is full —
+// unless ctx already carries a grant (sched.WithGrant), in which case
+// that grant's budget governs and no second admission happens. The
+// granted budget caps the execution's parallel workers, and the
+// fork-join regions draw their goroutines from the scheduler's shared
+// slot pool.
 func (p *Prepared) ExecuteContext(ctx context.Context, b Bindings) (res *Result, err error) {
 	// The executor trusts its plans: a malformed plan (or an executor
 	// bug) panics rather than corrupting results. Contain such panics
@@ -113,6 +128,27 @@ func (p *Prepared) ExecuteContext(ctx context.Context, b Bindings) (res *Result,
 		}
 	}
 	e := p.eng
+	grant := sched.GrantFrom(ctx)
+	if grant == nil && e.cfg.Scheduler != nil {
+		e.mu.RLock()
+		rows := e.pool.Rows()
+		e.mu.RUnlock()
+		g, err := e.cfg.Scheduler.Admit(ctx, sched.Cost{Ops: p.ops, Joins: p.joins, Rows: rows})
+		if err != nil {
+			return nil, err
+		}
+		defer g.Release()
+		grant = g
+	} else if grant != nil {
+		// The serving layer admits before it compiles (budget 1 until the
+		// plan is known); finalize the budget from this statement's cost.
+		e.mu.RLock()
+		rows := e.pool.Rows()
+		e.mu.RUnlock()
+		grant.SetCost(sched.Cost{Ops: p.ops, Joins: p.joins, Rows: rows})
+	}
+	// The snapshot is taken after admission: a queued execution sees the
+	// document state as of when it actually starts running.
 	e.mu.RLock()
 	doc := e.defaultDoc
 	qp := e.pool.Snapshot()
@@ -121,6 +157,12 @@ func (p *Prepared) ExecuteContext(ctx context.Context, b Bindings) (res *Result,
 	qp.Register(transient)
 	ex := ralg.NewExec(qp, transient)
 	ex.Par = e.parOptions()
+	if grant != nil && ex.Par.Workers > 1 {
+		if b := grant.Budget(); b < ex.Par.Workers {
+			ex.Par.Workers = b
+		}
+		ex.Par.Slots = grant
+	}
 	ex.ContextDoc = doc
 	ex.Ctx = ctx
 	env := make(ralg.Bindings, len(p.cq.Params))

@@ -1,7 +1,8 @@
 // Package lint is a self-contained static-analysis framework for the
 // project-specific invariants that ordinary vet cannot see: executor
-// cancellation polling (cancelcheck), error-code hygiene (xqerrcheck),
-// and binding-adoption safety at the public API boundary (adoptcheck).
+// cancellation polling (cancelcheck), scheduler/serving wait-point
+// cancellability (waitcheck), error-code hygiene (xqerrcheck), and
+// binding-adoption safety at the public API boundary (adoptcheck).
 //
 // It deliberately works at the syntax level only (go/parser + go/ast,
 // no type checking): every rule it enforces is expressible over names
@@ -56,7 +57,7 @@ type Analyzer struct {
 
 // All returns every analyzer mxqlint ships, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{CancelCheck, XQErrCheck, AdoptCheck}
+	return []*Analyzer{CancelCheck, WaitCheck, XQErrCheck, AdoptCheck}
 }
 
 // LoadDir parses every .go file directly inside dir into one Package.

@@ -22,6 +22,10 @@ func TestCancelCheckFixtures(t *testing.T) {
 	runFixture(t, CancelCheck, "testdata/cancelcheck/scj")
 }
 
+func TestWaitCheckFixtures(t *testing.T) {
+	runFixture(t, WaitCheck, "testdata/waitcheck/sched")
+}
+
 func TestXQErrCheckFixtures(t *testing.T) {
 	runFixture(t, XQErrCheck, "testdata/xqerrcheck")
 }
@@ -37,7 +41,7 @@ func TestAnalyzersSkipForeignPackages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, a := range []*Analyzer{CancelCheck, AdoptCheck} {
+	for _, a := range []*Analyzer{CancelCheck, WaitCheck, AdoptCheck} {
 		if ds := a.Run(p); len(ds) != 0 {
 			t.Errorf("%s fired on package %q: %v", a.Name, p.Name, ds)
 		}

@@ -1,0 +1,61 @@
+// Fixture for waitcheck: package is named sched so the analyzer's
+// package gate admits it. Each flagged line carries a want comment.
+package sched
+
+import "context"
+
+type pool struct {
+	sem chan struct{}
+}
+
+// admitBad waits for a slot without honoring cancellation.
+func (p *pool) admitBad(ctx context.Context) {
+	select { // want "select blocks without a default or Done case"
+	case p.sem <- struct{}{}:
+	}
+}
+
+// admitGood waits for a slot or the context, whichever first.
+func (p *pool) admitGood(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admitFast never blocks: the default makes the select a poll.
+func (p *pool) admitFast() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// admitDoneVar receives from a pre-extracted done channel; the
+// identifier's name marks it cancellable.
+func (p *pool) admitDoneVar(done <-chan struct{}) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-done:
+	}
+}
+
+func (p *pool) sendBare() {
+	p.sem <- struct{}{} // want "bare channel send blocks unconditionally"
+}
+
+func (p *pool) recvBare() {
+	<-p.sem // want "bare channel receive blocks unconditionally"
+}
+
+// release returns a held slot.
+//
+// waitcheck:exempt the receive drains a slot this pool provably holds
+// in its buffered semaphore, so it cannot block.
+func (p *pool) release() {
+	<-p.sem
+}

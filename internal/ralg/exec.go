@@ -1053,7 +1053,7 @@ func (e *Exec) stepSegRun(n *Step, iters []int64, items *ItemVec, s stepSeg, bud
 	ctx := scj.FromColumns(items.I, iters, s.lo, s.hi)
 	c := e.Pool.Get(s.cont)
 	if budget > 1 {
-		return scj.ParallelStep(c, ctx, n.Axis, n.Test, n.Variant, budget, e.Par.Threshold, st)
+		return scj.ParallelStepSlots(e.Par.Slots, c, ctx, n.Axis, n.Test, n.Variant, budget, e.Par.Threshold, st)
 	}
 	return scj.Step(c, ctx, n.Axis, n.Test, n.Variant, st)
 }

@@ -31,9 +31,17 @@ const DefaultParThreshold = 2048
 // value (or Workers <= 1) executes everything serially.
 type ParOptions struct {
 	// Workers bounds the number of concurrently running goroutines.
+	// Under a global scheduler this is the execution's granted worker
+	// budget rather than a per-query pool size.
 	Workers int
 	// Threshold is the minimum input size to parallelize an operator.
 	Threshold int
+	// Slots, when set, is the slot-acquisition hook: fork-join regions
+	// draw their extra goroutines from this shared pool (a scheduler
+	// grant) instead of spawning freely, so concurrent executions
+	// together never exceed the pool size. Acquisition never blocks —
+	// a region granted no slots runs serially on its own goroutine.
+	Slots scj.Slots
 }
 
 // DefaultParOptions sizes the worker pool by GOMAXPROCS.
@@ -47,9 +55,10 @@ func (p ParOptions) on(n int) bool {
 }
 
 // parRun executes f(0..chunks-1) on at most p.Workers concurrent
-// goroutines and waits for completion.
+// goroutines (drawn from the shared slot pool when one is installed)
+// and waits for completion.
 func (p ParOptions) parRun(chunks int, f func(int)) {
-	scj.ParRun(p.Workers, chunks, f)
+	scj.ParRunSlots(p.Slots, p.Workers, chunks, f)
 }
 
 // splitRows cuts [0, n) into at most chunks contiguous non-empty

@@ -1,0 +1,328 @@
+// Package sched is the global query scheduler: admission control over
+// concurrent executions plus one bounded worker-slot pool they all
+// share. It closes the §6 multi-client oversubscription gap — without
+// it every parallel execution builds its own GOMAXPROCS-sized pool, so
+// N in-flight queries claim N×cores workers.
+//
+// The scheduler layers three mechanisms with distinct jobs:
+//
+//   - Admission bounds how many executions run at once (MaxConcurrent).
+//     Admit waits — deadline-aware, FIFO-ish — for a free execution
+//     slot; a bounded number of waiters may queue (MaxQueue), beyond
+//     which Admit fails fast with ErrQueueFull so overload sheds
+//     instead of piling up.
+//
+//   - The budget caps how much intra-query parallelism one admitted
+//     execution may request. It is derived from plan cost hints known
+//     on a prepared statement — operator count, join count, snapshot
+//     input size — so a point lookup is granted budget 1 while a
+//     join-heavy scan over a large corpus is granted many workers
+//     (never more than the pool holds).
+//
+//   - The slot pool bounds the worker goroutines actually live across
+//     ALL executions at the pool size (Workers). Partitioned operators
+//     draw their extra goroutines from it through the Grant (the
+//     scj.Slots hook) instead of spawning freely; acquisition never
+//     blocks — a fork-join region that gets no slots simply runs its
+//     chunks serially on its own goroutine, so progress is guaranteed,
+//     there is no deadlock by construction, and the pool is
+//     work-conserving under any mix of queries.
+//
+// Serial execution is untouched: an engine without a scheduler — or a
+// grant with budget 1 — runs exactly the zero-dependency serial code
+// path, which remains the byte-identical differential oracle.
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// Config sizes one Scheduler. The zero value of each field picks the
+// documented default.
+type Config struct {
+	// Workers is the global worker-slot pool: the bound on live worker
+	// goroutines across all concurrent executions. 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxConcurrent bounds admitted (running) executions. 0 means
+	// 2×Workers: with budgets interleaving, twice the pool size keeps
+	// the pool busy while small queries slip between big ones.
+	MaxConcurrent int
+	// MaxQueue bounds the executions waiting for admission; an Admit
+	// beyond it fails immediately with ErrQueueFull. 0 means
+	// DefaultQueueFactor×MaxConcurrent; negative disables queueing
+	// entirely (a full scheduler rejects instantly).
+	MaxQueue int
+	// MaxWorkersPerQuery caps any single execution's worker budget.
+	// 0 means Workers (one query may use the whole pool when alone).
+	MaxWorkersPerQuery int
+	// RowsPerWorker is the budget heuristic's data-size scale: an
+	// execution is granted at most 1 + inputRows/RowsPerWorker workers,
+	// so small documents never justify a wide budget. 0 means
+	// DefaultRowsPerWorker.
+	RowsPerWorker int64
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultQueueFactor   = 2
+	DefaultRowsPerWorker = 64 << 10
+)
+
+// ErrQueueFull is returned by Admit when MaxConcurrent executions are
+// running and MaxQueue admissions are already waiting.
+var ErrQueueFull = errors.New("sched: admission queue full")
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * c.Workers
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = DefaultQueueFactor * c.MaxConcurrent
+	}
+	if c.MaxWorkersPerQuery <= 0 || c.MaxWorkersPerQuery > c.Workers {
+		c.MaxWorkersPerQuery = c.Workers
+	}
+	if c.RowsPerWorker <= 0 {
+		c.RowsPerWorker = DefaultRowsPerWorker
+	}
+	return c
+}
+
+// Cost carries the plan cost hints an admitted execution's worker
+// budget is derived from: operator and join counts are known once at
+// prepare time, Rows is the execution's snapshot input size (total
+// structural rows of the registered containers).
+type Cost struct {
+	Ops   int
+	Joins int
+	Rows  int64
+}
+
+// Scheduler is safe for concurrent use by any number of executions.
+type Scheduler struct {
+	cfg     Config
+	execSem chan struct{} // MaxConcurrent execution slots
+
+	queued        atomic.Int64 // admissions currently waiting
+	running       atomic.Int64 // grants admitted and not yet released
+	admitted      atomic.Int64 // total admissions granted
+	rejectedFull  atomic.Int64 // Admit calls failed with ErrQueueFull
+	canceledWait  atomic.Int64 // Admit calls abandoned while queued
+	grantedBudget atomic.Int64 // sum of running grants' budgets
+
+	slotsFree     atomic.Int64 // worker slots not handed out
+	slotsInUse    atomic.Int64 // worker goroutines currently live
+	maxSlotsInUse atomic.Int64 // high-water mark of slotsInUse
+}
+
+// New builds a scheduler from cfg (zero fields pick the defaults).
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{cfg: cfg, execSem: make(chan struct{}, cfg.MaxConcurrent)}
+	s.slotsFree.Store(int64(cfg.Workers))
+	return s
+}
+
+// Workers returns the configured global worker-slot pool size.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// Admit blocks until an execution slot is free, then returns the
+// execution's Grant. It fails fast with ErrQueueFull when MaxQueue
+// admissions are already waiting, and returns ctx.Err() when the
+// context expires or is cancelled while queued — the queue position is
+// released promptly either way. The caller must Release the grant when
+// the execution completes or is abandoned.
+func (s *Scheduler) Admit(ctx context.Context, c Cost) (*Grant, error) {
+	select {
+	case s.execSem <- struct{}{}:
+	default:
+		if q := s.queued.Add(1); s.cfg.MaxQueue < 0 || q > int64(s.cfg.MaxQueue) {
+			s.queued.Add(-1)
+			s.rejectedFull.Add(1)
+			return nil, ErrQueueFull
+		}
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case s.execSem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-done:
+			s.queued.Add(-1)
+			s.canceledWait.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	g := &Grant{s: s, budget: 1}
+	s.admitted.Add(1)
+	s.running.Add(1)
+	s.grantedBudget.Add(1)
+	if c != (Cost{}) {
+		g.SetCost(c)
+	}
+	return g, nil
+}
+
+// budgetFor derives a worker budget from cost hints: the plan's
+// complexity (joins weigh full workers, plain operators a sixteenth)
+// asks for width, the snapshot size caps it (one extra worker per
+// RowsPerWorker input rows), and the per-query and pool clamps bound
+// the result to [1, min(MaxWorkersPerQuery, Workers)].
+func (s *Scheduler) budgetFor(c Cost) int {
+	b := 1 + c.Joins + c.Ops/16
+	if dataCap := 1 + int(c.Rows/s.cfg.RowsPerWorker); b > dataCap {
+		b = dataCap
+	}
+	if b > s.cfg.MaxWorkersPerQuery {
+		b = s.cfg.MaxWorkersPerQuery
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Stats is a point-in-time snapshot of the scheduler's counters.
+type Stats struct {
+	Workers       int   // configured worker-slot pool size
+	MaxConcurrent int   // configured execution slots
+	QueueDepth    int64 // admissions currently waiting
+	Running       int64 // executions admitted and not yet released
+	Admitted      int64 // total admissions granted
+	RejectedFull  int64 // admissions rejected because the queue was full
+	CanceledWait  int64 // admissions abandoned (deadline/cancel) while queued
+	GrantedBudget int64 // sum of running executions' worker budgets
+	SlotsInUse    int64 // worker goroutines currently drawing on the pool
+	MaxSlotsInUse int64 // high-water mark of SlotsInUse
+}
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Workers:       s.cfg.Workers,
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		QueueDepth:    s.queued.Load(),
+		Running:       s.running.Load(),
+		Admitted:      s.admitted.Load(),
+		RejectedFull:  s.rejectedFull.Load(),
+		CanceledWait:  s.canceledWait.Load(),
+		GrantedBudget: s.grantedBudget.Load(),
+		SlotsInUse:    s.slotsInUse.Load(),
+		MaxSlotsInUse: s.maxSlotsInUse.Load(),
+	}
+}
+
+// acquireSlots hands out up to want worker slots without ever blocking
+// (a region that gets none runs serially on its own goroutine).
+func (s *Scheduler) acquireSlots(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	for {
+		free := s.slotsFree.Load()
+		if free <= 0 {
+			return 0
+		}
+		n := int64(want)
+		if n > free {
+			n = free
+		}
+		if !s.slotsFree.CompareAndSwap(free, free-n) {
+			continue
+		}
+		inUse := s.slotsInUse.Add(n)
+		for {
+			hw := s.maxSlotsInUse.Load()
+			if inUse <= hw || s.maxSlotsInUse.CompareAndSwap(hw, inUse) {
+				break
+			}
+		}
+		return int(n)
+	}
+}
+
+func (s *Scheduler) releaseSlots(n int) {
+	if n <= 0 {
+		return
+	}
+	s.slotsInUse.Add(-int64(n))
+	s.slotsFree.Add(int64(n))
+}
+
+// Grant is one admitted execution's hold on the scheduler: an
+// execution slot plus the right to draw up to Budget workers from the
+// shared pool. It implements the scj.Slots slot-acquisition hook, so
+// it plugs directly into ralg.ParOptions. A Grant is safe for
+// concurrent use by the execution's worker goroutines.
+type Grant struct {
+	s        *Scheduler
+	budget   int
+	costSet  atomic.Bool
+	released atomic.Bool
+}
+
+// SetCost finalizes the execution's worker budget from its plan cost
+// hints (known only after compilation — the serving layer admits
+// before it compiles). The first call wins; until then the budget is 1.
+func (g *Grant) SetCost(c Cost) {
+	if !g.costSet.CompareAndSwap(false, true) {
+		return
+	}
+	b := g.s.budgetFor(c)
+	g.s.grantedBudget.Add(int64(b - g.budget))
+	g.budget = b
+}
+
+// Budget returns the execution's worker budget (≥ 1).
+func (g *Grant) Budget() int { return g.budget }
+
+// Release returns the execution slot. It is idempotent, so it is safe
+// to both defer and call explicitly.
+//
+// waitcheck:exempt the receive drains a slot this grant provably holds
+// in the buffered execSem, so it cannot block.
+func (g *Grant) Release() {
+	if !g.released.CompareAndSwap(false, true) {
+		return
+	}
+	g.s.grantedBudget.Add(-int64(g.budget))
+	g.s.running.Add(-1)
+	<-g.s.execSem
+}
+
+// AcquireSlots draws up to want worker slots from the shared pool
+// without blocking (the scj.Slots hook). The caller must return
+// exactly the granted count via ReleaseSlots when its fork-join region
+// completes.
+func (g *Grant) AcquireSlots(want int) int { return g.s.acquireSlots(want) }
+
+// ReleaseSlots returns n worker slots to the shared pool.
+func (g *Grant) ReleaseSlots(n int) { g.s.releaseSlots(n) }
+
+// ctxKey carries a Grant through a context.
+type ctxKey struct{}
+
+// WithGrant returns a context carrying g: an execution started under
+// it reuses the grant instead of admitting again. This is how the
+// serving layer — which must admit before it compiles — hands its
+// already-held slot to core's execution path.
+func WithGrant(ctx context.Context, g *Grant) context.Context {
+	return context.WithValue(ctx, ctxKey{}, g)
+}
+
+// GrantFrom returns the Grant carried by ctx, or nil.
+func GrantFrom(ctx context.Context) *Grant {
+	if ctx == nil {
+		return nil
+	}
+	g, _ := ctx.Value(ctxKey{}).(*Grant)
+	return g
+}

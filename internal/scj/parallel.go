@@ -31,6 +31,7 @@ package scj
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mxq/internal/store"
 )
@@ -39,30 +40,72 @@ import (
 // present in both (the cross-chunk duplicates of context partitioning).
 func MergePairs(a, b Pairs) Pairs { return mergePairs(a, b) }
 
+// Slots is the slot-acquisition hook of the fork-join helpers: when a
+// global query scheduler is installed, every partitioned operator
+// draws its extra worker goroutines from the shared bounded pool
+// behind this interface instead of spawning freely, so the live worker
+// count across ALL concurrent executions stays bounded by the pool
+// size. AcquireSlots must not block: it returns 0..want immediately,
+// and a region granted 0 slots runs its chunks serially on the calling
+// goroutine (progress is guaranteed, so there is no deadlock by
+// construction). Implementations must be safe for concurrent use.
+type Slots interface {
+	AcquireSlots(want int) int
+	ReleaseSlots(n int)
+}
+
 // ParRun executes f(0..n-1) on at most workers concurrent goroutines
-// and waits for all of them. It is the bounded fork-join helper shared
-// by this package and the ralg operator layer.
-func ParRun(workers, n int, f func(int)) {
+// (the calling goroutine included) and waits for all of them. It is
+// the bounded fork-join helper shared by this package and the ralg
+// operator layer; ParRunSlots is the variant that draws its extra
+// goroutines from a shared pool.
+func ParRun(workers, n int, f func(int)) { ParRunSlots(nil, workers, n, f) }
+
+// ParRunSlots is ParRun drawing worker goroutines from sl: the caller
+// always participates, and up to workers-1 extra goroutines are
+// acquired from sl (spawned freely when sl is nil). Chunks are handed
+// out through an atomic cursor, so every index runs exactly once; as
+// in ParRun, callers must make f(i) write only chunk-i state.
+func ParRunSlots(sl Slots, workers, n int, f func(int)) {
 	if n <= 1 {
 		if n == 1 {
 			f(0)
 		}
 		return
 	}
-	if workers < 1 {
-		workers = 1
+	extra := workers - 1
+	if extra > n-1 {
+		extra = n - 1
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
+	if sl != nil && extra > 0 {
+		extra = sl.AcquireSlots(extra)
+		defer sl.ReleaseSlots(extra)
+	}
+	if extra <= 0 {
+		for i := 0; i < n; i++ {
 			f(i)
-			<-sem
-		}(i)
+		}
+		return
 	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			f(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < extra; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
 	wg.Wait()
 }
 
@@ -133,6 +176,12 @@ func mergePairsTree(outs []Pairs) Pairs {
 // serial counters for the same query. That surplus is the real cost of
 // the decomposition, not an accounting error.
 func ParallelStep(c *store.Container, ctx Pairs, axis Axis, test Test, v Variant, workers, threshold int, st *Stats) Pairs {
+	return ParallelStepSlots(nil, c, ctx, axis, test, v, workers, threshold, st)
+}
+
+// ParallelStepSlots is ParallelStep drawing its worker goroutines from
+// sl (see Slots); a nil sl spawns freely, reproducing ParallelStep.
+func ParallelStepSlots(sl Slots, c *store.Container, ctx Pairs, axis Axis, test Test, v Variant, workers, threshold int, st *Stats) Pairs {
 	if st == nil {
 		st = &Stats{}
 	}
@@ -141,12 +190,12 @@ func ParallelStep(c *store.Container, ctx Pairs, axis Axis, test Test, v Variant
 	}
 	switch axis {
 	case Descendant:
-		if out, ok := parDescendant(c, ctx, test, v, workers, threshold, st); ok {
+		if out, ok := parDescendant(sl, c, ctx, test, v, workers, threshold, st); ok {
 			st.Emitted += int64(out.Len())
 			return out
 		}
 	case DescendantOrSelf:
-		if out, ok := parDescendant(c, ctx, test, v, workers, threshold, st); ok {
+		if out, ok := parDescendant(sl, c, ctx, test, v, workers, threshold, st); ok {
 			var self Pairs
 			llSelf(c, ctx, CompileTest(c, test), &self, st)
 			merged := mergePairs(out, self)
@@ -155,7 +204,7 @@ func ParallelStep(c *store.Container, ctx Pairs, axis Axis, test Test, v Variant
 		}
 	}
 	if ctx.Len() >= threshold {
-		return parByContext(c, ctx, axis, test, v, workers, st)
+		return parByContext(sl, c, ctx, axis, test, v, workers, st)
 	}
 	return Step(c, ctx, axis, test, v, st)
 }
@@ -164,7 +213,7 @@ func ParallelStep(c *store.Container, ctx Pairs, axis Axis, test Test, v Variant
 // merges the chunk results. Valid for every axis because the per-chunk
 // results are each duplicate-free per iteration and the merge removes
 // the duplicates serial pruning would have caught across chunks.
-func parByContext(c *store.Container, ctx Pairs, axis Axis, test Test, v Variant, workers int, st *Stats) Pairs {
+func parByContext(sl Slots, c *store.Container, ctx Pairs, axis Axis, test Test, v Variant, workers int, st *Stats) Pairs {
 	chunks := splitPairsByPre(ctx, workers)
 	if len(chunks) <= 1 {
 		return Step(c, ctx, axis, test, v, st)
@@ -174,7 +223,7 @@ func parByContext(c *store.Container, ctx Pairs, axis Axis, test Test, v Variant
 	for k := range stats {
 		stats[k].Stop = st.Stop
 	}
-	ParRun(workers, len(chunks), func(k int) {
+	ParRunSlots(sl, workers, len(chunks), func(k int) {
 		outs[k] = Step(c, chunks[k], axis, test, v, &stats[k])
 	})
 	for k := range stats {
@@ -189,7 +238,7 @@ func parByContext(c *store.Container, ctx Pairs, axis Axis, test Test, v Variant
 // parDescendant evaluates the descendant part of a step with document-
 // range partitioning, reporting ok=false when the covered region is too
 // small to bother or the variant is the per-iteration ablation baseline.
-func parDescendant(c *store.Container, ctx Pairs, test Test, v Variant, workers, threshold int, st *Stats) (Pairs, bool) {
+func parDescendant(sl Slots, c *store.Container, ctx Pairs, test Test, v Variant, workers, threshold int, st *Stats) (Pairs, bool) {
 	if v == Iterative {
 		return Pairs{}, false
 	}
@@ -205,10 +254,10 @@ func parDescendant(c *store.Container, ctx Pairs, test Test, v Variant, workers,
 	}
 	if v == CandidateList {
 		if cand, ok := candidates(c, test); ok {
-			return parCandDescendant(c, ctx, cand, workers, st), true
+			return parCandDescendant(sl, c, ctx, cand, workers, st), true
 		}
 	}
-	return parScanDescendant(c, ctx, CompileTest(c, test), lo, hi, workers, st), true
+	return parScanDescendant(sl, c, ctx, CompileTest(c, test), lo, hi, workers, st), true
 }
 
 // parCandDescendant chunks the ascending candidate list; each worker
@@ -216,7 +265,7 @@ func parDescendant(c *store.Container, ctx Pairs, test Test, v Variant, workers,
 // The walk is O(|ctx| + |chunk|) per worker and the frame stack at any
 // candidate position depends only on ctx, so chunk outputs concatenate
 // to exactly the serial candDescendant result.
-func parCandDescendant(c *store.Container, ctx Pairs, cand []int32, workers int, st *Stats) Pairs {
+func parCandDescendant(sl Slots, c *store.Container, ctx Pairs, cand []int32, workers int, st *Stats) Pairs {
 	chunks := workers
 	if chunks > len(cand) {
 		chunks = len(cand)
@@ -231,7 +280,7 @@ func parCandDescendant(c *store.Container, ctx Pairs, cand []int32, workers int,
 	for k := range stats {
 		stats[k].Stop = st.Stop
 	}
-	ParRun(workers, chunks, func(k int) {
+	ParRunSlots(sl, workers, chunks, func(k int) {
 		lo := len(cand) * k / chunks
 		hi := len(cand) * (k + 1) / chunks
 		candDescendant(c, ctx, cand[lo:hi], &outs[k], &stats[k])
@@ -248,7 +297,7 @@ func parCandDescendant(c *store.Container, ctx Pairs, cand []int32, workers int,
 // context nodes covering its range start, then runs the llDescendant
 // sweep restricted to its range, so every document position is emitted
 // by exactly one worker and the concatenation is in (pre, iter) order.
-func parScanDescendant(c *store.Container, ctx Pairs, match func(int32) bool, lo, hi int32, workers int, st *Stats) Pairs {
+func parScanDescendant(sl Slots, c *store.Container, ctx Pairs, match func(int32) bool, lo, hi int32, workers int, st *Stats) Pairs {
 	span := int(hi + 1 - lo)
 	chunks := workers
 	if chunks > span {
@@ -259,7 +308,7 @@ func parScanDescendant(c *store.Container, ctx Pairs, match func(int32) bool, lo
 	for k := range stats {
 		stats[k].Stop = st.Stop
 	}
-	ParRun(workers, chunks, func(k int) {
+	ParRunSlots(sl, workers, chunks, func(k int) {
 		rlo := lo + int32(span*k/chunks)
 		rhi := lo + int32(span*(k+1)/chunks)
 		scanDescendantRange(c, ctx, match, rlo, rhi, &outs[k], &stats[k])

@@ -16,12 +16,21 @@
 // its operator checkpoints; the fork-join worker pool guarantees no
 // goroutine outlives its request. Static query errors (parse errors
 // and the XPST/XQST classes) map to 400, dynamic errors to 500,
-// deadline expiry to 504, and executions beyond the inflight limit are
-// rejected with 503 before any work is done.
+// deadline expiry to 504.
+//
+// Admission is scheduled, not shed at the door: every request —
+// including its compile work — first admits itself with the engine's
+// global query scheduler (or a server-private one sized by
+// MaxInflight), waiting deadline-aware in a bounded queue for an
+// execution slot. Only a full queue answers 503 immediately; a request
+// whose deadline expires while queued answers 503 too, having done no
+// work. Prepared statements are evicted under an idle TTL plus LRU
+// overflow, so abandoned sessions cannot wedge /prepare.
 package serve
 
 import (
 	"bytes"
+	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
@@ -33,19 +42,32 @@ import (
 	"time"
 
 	"mxq"
+	"mxq/internal/sched"
 )
 
 // Config tunes one Server. The zero value serves with the defaults
 // noted per field.
 type Config struct {
 	// MaxInflight bounds concurrently executing queries across all
-	// endpoints; further executions get 503 until one finishes.
-	// 0 means DefaultMaxInflight.
+	// endpoints. Further requests queue (see MaxQueue) until a slot
+	// frees or their deadline expires. When the DB's engine carries its
+	// own scheduler (mxq.WithScheduler), that scheduler's limits govern
+	// admission and MaxInflight/MaxQueue are ignored. 0 means
+	// DefaultMaxInflight.
 	MaxInflight int
-	// MaxStmts bounds the live prepared statements; /prepare beyond it
-	// returns 503 until statements are released. 0 means
-	// DefaultMaxStmts.
+	// MaxQueue bounds the requests waiting for an execution slot;
+	// beyond it the server answers 503 immediately. 0 means
+	// 2×MaxInflight; negative disables queueing (a saturated server
+	// rejects instantly, the pre-scheduler behavior).
+	MaxQueue int
+	// MaxStmts bounds the live prepared statements; preparing beyond it
+	// evicts the least-recently-used statement rather than failing.
+	// 0 means DefaultMaxStmts.
 	MaxStmts int
+	// StmtTTL evicts prepared statements idle longer than this (no
+	// exec, no lookup). 0 means DefaultStmtTTL; negative disables
+	// idle eviction.
+	StmtTTL time.Duration
 	// DefaultTimeout applies to executions whose request does not set
 	// timeout_ms. 0 means DefaultQueryTimeout; negative disables the
 	// default deadline (the request context still cancels).
@@ -62,6 +84,7 @@ type Config struct {
 const (
 	DefaultMaxInflight     = 64
 	DefaultMaxStmts        = 1024
+	DefaultStmtTTL         = 15 * time.Minute
 	DefaultQueryTimeout    = 30 * time.Second
 	DefaultMaxTimeout      = 5 * time.Minute
 	DefaultMaxRequestBytes = 1 << 20
@@ -71,8 +94,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxInflight == 0 {
 		c.MaxInflight = DefaultMaxInflight
 	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxInflight
+	}
 	if c.MaxStmts == 0 {
 		c.MaxStmts = DefaultMaxStmts
+	}
+	if c.StmtTTL == 0 {
+		c.StmtTTL = DefaultStmtTTL
 	}
 	if c.DefaultTimeout == 0 {
 		c.DefaultTimeout = DefaultQueryTimeout
@@ -89,27 +118,49 @@ func (c Config) withDefaults() Config {
 // Server serves one DB over HTTP. Create with New, install via
 // Handler; it is safe for any number of concurrent requests.
 type Server struct {
-	db  *mxq.DB
-	cfg Config
-	mux *http.ServeMux
-	sem chan struct{} // inflight-execution slots
+	db    *mxq.DB
+	cfg   Config
+	mux   *http.ServeMux
+	sched *sched.Scheduler // admission + worker pool; never nil
+	now   func() time.Time // statement-eviction clock (tests inject)
 
 	mu     sync.Mutex
-	stmts  map[string]*mxq.Stmt
+	stmts  map[string]*stmtEntry
+	lru    *list.List // of *stmtEntry; front = most recently used
 	nextID int64
 
 	metrics metrics
 }
 
-// New builds a Server over db.
+// stmtEntry is one registered prepared statement plus its eviction
+// bookkeeping (guarded by Server.mu).
+type stmtEntry struct {
+	id       string
+	stmt     *mxq.Stmt
+	lastUsed time.Time
+	elem     *list.Element
+}
+
+// New builds a Server over db. When db's engine runs under a global
+// scheduler the server admits requests through it; otherwise the
+// server builds a private scheduler sized by MaxInflight/MaxQueue so
+// admission is always scheduled.
 func New(db *mxq.DB, cfg Config) *Server {
 	s := &Server{
 		db:    db,
 		cfg:   cfg.withDefaults(),
 		mux:   http.NewServeMux(),
-		stmts: make(map[string]*mxq.Stmt),
+		now:   time.Now,
+		stmts: make(map[string]*stmtEntry),
+		lru:   list.New(),
 	}
-	s.sem = make(chan struct{}, s.cfg.MaxInflight)
+	s.sched = db.Engine().Scheduler()
+	if s.sched == nil {
+		s.sched = sched.New(sched.Config{
+			MaxConcurrent: s.cfg.MaxInflight,
+			MaxQueue:      s.cfg.MaxQueue,
+		})
+	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /prepare", s.handlePrepare)
 	s.mux.HandleFunc("POST /stmt/{id}/exec", s.handleExec)
@@ -200,46 +251,55 @@ func (s *Server) execContext(r *http.Request, req *queryRequest) (context.Contex
 	return context.WithTimeout(r.Context(), timeout)
 }
 
-// acquire takes an inflight slot without blocking; a full server
-// answers 503 immediately so load sheds at the door.
-func (s *Server) acquire(w http.ResponseWriter) bool {
-	select {
-	case s.sem <- struct{}{}:
-		s.metrics.inflight.Add(1)
-		return true
-	default:
+// admit waits — deadline-aware, up to the request's remaining timeout
+// — for an execution slot. A full admission queue answers 503
+// immediately; a deadline that expires while queued answers 503 too
+// (the request did no work, so 504 would be misleading). The grant is
+// admitted with no cost hints: the budget is finalized by the
+// execution once the plan is compiled.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (*sched.Grant, bool) {
+	start := time.Now()
+	g, err := s.sched.Admit(ctx, sched.Cost{})
+	s.metrics.queueWait.observe(time.Since(start))
+	if err != nil {
 		s.metrics.rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable, errors.New("too many queries in flight"))
-		return false
+		if errors.Is(err, sched.ErrQueueFull) {
+			writeError(w, http.StatusServiceUnavailable, errors.New("too many queries in flight"))
+		} else {
+			writeError(w, http.StatusServiceUnavailable, errors.New("no execution slot within the request deadline"))
+		}
+		return nil, false
 	}
+	s.metrics.inflight.Add(1)
+	return g, true
 }
 
-func (s *Server) release() {
+func (s *Server) release(g *sched.Grant) {
 	s.metrics.inflight.Add(-1)
-	<-s.sem
+	g.Release()
 }
 
-// run executes stmt under the request's context and streams the
-// result. It owns the inflight slot, the metrics bookkeeping and the
-// error mapping shared by /query and /stmt/{id}/exec.
-func (s *Server) run(w http.ResponseWriter, r *http.Request, req *queryRequest, stmt *mxq.Stmt) {
-	if !s.acquire(w) {
-		return
-	}
-	defer s.release()
-	ctx, cancel := s.execContext(r, req)
-	defer cancel()
+// run executes stmt under ctx — which must carry the request's
+// admission grant — and streams the result. Latency is measured to
+// end-of-stream: serialization is the dominant cost of large results,
+// so stopping the clock at executor completion would hide it.
+func (s *Server) run(ctx context.Context, w http.ResponseWriter, stmt *mxq.Stmt) {
 	start := time.Now()
 	res, err := stmt.ExecContext(ctx)
-	s.metrics.observe(time.Since(start), err)
 	if err != nil {
+		s.metrics.observe(time.Since(start), err)
 		writeError(w, execStatus(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
-	// From here the result streams; serialization failure means the
-	// client went away — nothing useful can be written anymore.
-	_ = res.SerializeXML(w)
+	// The result streams from here; a serialization failure usually
+	// means the client went away — nothing useful can be written
+	// anymore, but the failure is counted.
+	serr := res.SerializeXML(w)
+	s.metrics.observe(time.Since(start), nil)
+	if serr != nil {
+		s.metrics.serializeFailures.Add(1)
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -251,6 +311,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New(`missing "query"`))
 		return
 	}
+	ctx, cancel := s.execContext(r, req)
+	defer cancel()
+	// Admission comes before compilation: a flood of compile-heavy (or
+	// parse-error) requests must not bypass the concurrency limit.
+	g, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer s.release(g)
 	stmt, err := s.db.Prepare(req.Query)
 	if err != nil {
 		s.metrics.compileErrors.Add(1)
@@ -261,7 +330,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.run(w, r, req, stmt)
+	s.run(sched.WithGrant(ctx, g), w, stmt)
 }
 
 // prepareResponse is the JSON body answering /prepare.
@@ -285,7 +354,16 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New(`missing "query"`))
 		return
 	}
+	ctx, cancel := s.execContext(r, req)
+	defer cancel()
+	// Compilation runs under admission like any execution: preparing is
+	// the compile-heavy path, so it must not bypass the limit either.
+	g, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
 	stmt, err := s.db.Prepare(req.Query)
+	s.release(g)
 	if err != nil {
 		s.metrics.compileErrors.Add(1)
 		writeError(w, http.StatusBadRequest, err)
@@ -295,30 +373,72 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	for _, v := range stmt.Vars() {
 		resp.Vars = append(resp.Vars, varInfo{Name: v.Name, Required: v.Required, Singleton: v.Singleton})
 	}
-	s.mu.Lock()
-	if len(s.stmts) >= s.cfg.MaxStmts {
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, errors.New("too many prepared statements"))
-		return
-	}
-	s.nextID++
-	resp.ID = "s" + strconv.FormatInt(s.nextID, 10)
-	s.stmts[resp.ID] = stmt
-	s.mu.Unlock()
+	resp.ID = s.register(stmt)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
+// register adds stmt to the statement registry, evicting idle-expired
+// statements first and then — if the registry is still full — the
+// least recently used one, so /prepare always succeeds and abandoned
+// sessions cannot wedge it into 503.
+func (s *Server) register(stmt *mxq.Stmt) string {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(now)
+	for len(s.stmts) >= s.cfg.MaxStmts {
+		s.evictLocked(s.lru.Back().Value.(*stmtEntry))
+	}
+	s.nextID++
+	e := &stmtEntry{id: "s" + strconv.FormatInt(s.nextID, 10), stmt: stmt, lastUsed: now}
+	e.elem = s.lru.PushFront(e)
+	s.stmts[e.id] = e
+	return e.id
+}
+
+// sweepLocked evicts statements idle past the TTL, scanning from the
+// LRU tail so it stops at the first live one (O(evicted), not
+// O(statements)). Callers hold s.mu.
+func (s *Server) sweepLocked(now time.Time) {
+	if s.cfg.StmtTTL < 0 {
+		return
+	}
+	for el := s.lru.Back(); el != nil; el = s.lru.Back() {
+		e := el.Value.(*stmtEntry)
+		if now.Sub(e.lastUsed) <= s.cfg.StmtTTL {
+			return
+		}
+		s.evictLocked(e)
+	}
+}
+
+func (s *Server) evictLocked(e *stmtEntry) {
+	delete(s.stmts, e.id)
+	s.lru.Remove(e.elem)
+	s.metrics.stmtsEvicted.Add(1)
+}
+
+// lookup resolves a statement id, refreshing its eviction clock and
+// LRU position. Evicting a statement mid-execution is safe — a Stmt is
+// immutable and the execution holds its own pointer — so lookup also
+// opportunistically sweeps idle statements.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*mxq.Stmt, string, bool) {
 	id := r.PathValue("id")
+	now := s.now()
 	s.mu.Lock()
-	stmt, ok := s.stmts[id]
+	s.sweepLocked(now)
+	e, ok := s.stmts[id]
+	if ok {
+		e.lastUsed = now
+		s.lru.MoveToFront(e.elem)
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no prepared statement %q", id))
 		return nil, id, false
 	}
-	return stmt, id, true
+	return e.stmt, id, true
 }
 
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
@@ -334,7 +454,14 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.run(w, r, req, stmt)
+	ctx, cancel := s.execContext(r, req)
+	defer cancel()
+	g, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer s.release(g)
+	s.run(sched.WithGrant(ctx, g), w, stmt)
 }
 
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
@@ -343,7 +470,10 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	delete(s.stmts, id)
+	if e, ok := s.stmts[id]; ok {
+		delete(s.stmts, id)
+		s.lru.Remove(e.elem)
+	}
 	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -303,24 +303,21 @@ func TestServerConcurrentSessions(t *testing.T) {
 	}
 }
 
-// TestServerInflightLimit verifies load shedding: with one execution
-// slot, a second concurrent query is rejected with 503 up front.
-func TestServerInflightLimit(t *testing.T) {
-	ts, _ := newTestServer(t, Config{MaxInflight: 1})
-	release := make(chan struct{})
+// saturate occupies every execution slot of ts with a slow query and
+// waits (via /metrics) until it is actually running. The returned
+// function waits for the slow query to finish.
+func saturate(t *testing.T, ts *httptest.Server) (wait func()) {
+	t.Helper()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		// occupy the slot with a slow query (bounded by its own timeout)
 		postSlow, _ := json.Marshal(map[string]any{"query": slowQuery, "timeout_ms": 3000})
 		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(postSlow))
 		if err == nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 		}
-		<-release
 	}()
-	// wait until the slot is actually taken
 	deadline := time.Now().Add(3 * time.Second)
 	for {
 		resp, err := http.Get(ts.URL + "/metrics")
@@ -330,19 +327,189 @@ func TestServerInflightLimit(t *testing.T) {
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if strings.Contains(string(body), "mxqd_inflight_queries 1") {
-			break
+			return func() { <-done }
 		}
 		if time.Now().After(deadline) {
-			close(release)
+			<-done
 			t.Skip("slow query finished before the probe; cannot exercise the limit")
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	resp, body := postJSON(t, ts.URL+"/query", map[string]any{"query": `1+1`})
-	close(release)
-	<-done
+}
+
+// TestServerInflightLimit verifies load shedding with queueing
+// disabled: with one execution slot and MaxQueue < 0, a second
+// concurrent query is rejected with 503 up front. The probe query is a
+// parse error — getting 503 rather than 400 proves the saturated
+// server rejected it before spending any compile work on it.
+func TestServerInflightLimit(t *testing.T) {
+	ts, _ := newTestServer(t, Config{MaxInflight: 1, MaxQueue: -1})
+	wait := saturate(t, ts)
+	defer wait()
+	resp, body := postJSON(t, ts.URL+"/query", map[string]any{"query": `for $x in`})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("second query: status %d: %s", resp.StatusCode, body)
+	}
+	// No compile happened for the rejected request.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "mxqd_compile_errors_total 0") {
+		t.Errorf("rejected parse-error request was compiled:\n%s", mbody)
+	}
+}
+
+// TestServerQueuedAdmission: a saturated server no longer sheds at the
+// door — a request with deadline to spare waits in the admission queue
+// and succeeds once the slot frees.
+func TestServerQueuedAdmission(t *testing.T) {
+	ts, _ := newTestServer(t, Config{MaxInflight: 1})
+	wait := saturate(t, ts)
+	defer wait()
+	resp, body := postJSON(t, ts.URL+"/query",
+		map[string]any{"query": `1+1`, "timeout_ms": 30000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("queued query: status %d: %s", resp.StatusCode, body)
+	}
+	if string(body) != "2" {
+		t.Fatalf("queued query result %q, want 2", body)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "mxqd_queue_wait_seconds_count") {
+		t.Errorf("metrics lack the queue wait histogram:\n%s", mbody)
+	}
+}
+
+// TestServerQueueDeadline: a queued request whose deadline expires
+// before a slot frees answers 503 — it did no work, so 504 (execution
+// timed out) would be misleading.
+func TestServerQueueDeadline(t *testing.T) {
+	ts, _ := newTestServer(t, Config{MaxInflight: 1})
+	wait := saturate(t, ts)
+	defer wait()
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/query",
+		map[string]any{"query": `1+1`, "timeout_ms": 50})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired-in-queue query: status %d: %s", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("expired-in-queue response took %v", elapsed)
+	}
+}
+
+// TestServerStmtEviction is the regression test for the
+// prepared-statement session leak: idle statements expire under the
+// TTL and a full registry evicts its LRU entry instead of wedging
+// /prepare into 503.
+func TestServerStmtEviction(t *testing.T) {
+	db := mxq.Open()
+	db.LoadXMark("auction.xml", 0.002, 11)
+	srv := New(db, Config{MaxStmts: 2, StmtTTL: time.Minute})
+	clock := time.Now()
+	srv.now = func() time.Time { return clock }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	prepare := func(q string) string {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/prepare", map[string]any{"query": q})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("prepare: status %d: %s", resp.StatusCode, body)
+		}
+		var pr struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr.ID
+	}
+	execStatusOf := func(id string) int {
+		t.Helper()
+		resp, _ := postJSON(t, ts.URL+"/stmt/"+id+"/exec", map[string]any{})
+		return resp.StatusCode
+	}
+
+	// LRU overflow: the registry holds 2; preparing a third evicts the
+	// least recently used (id1 — id2 was touched more recently).
+	id1 := prepare(`1+1`)
+	id2 := prepare(`2+2`)
+	if got := execStatusOf(id2); got != http.StatusOK {
+		t.Fatalf("exec id2: status %d", got)
+	}
+	if got := execStatusOf(id1); got != http.StatusOK { // id1 now most recent
+		t.Fatalf("exec id1: status %d", got)
+	}
+	id3 := prepare(`3+3`)
+	if got := execStatusOf(id2); got != http.StatusNotFound {
+		t.Errorf("LRU-evicted id2: status %d, want 404", got)
+	}
+	if got := execStatusOf(id1); got != http.StatusOK {
+		t.Errorf("recently used id1: status %d, want 200", got)
+	}
+
+	// Idle TTL: advance past the TTL; the next prepare sweeps both.
+	clock = clock.Add(2 * time.Minute)
+	id4 := prepare(`4+4`)
+	for _, id := range []string{id1, id3} {
+		if got := execStatusOf(id); got != http.StatusNotFound {
+			t.Errorf("TTL-expired %s: status %d, want 404", id, got)
+		}
+	}
+	if got := execStatusOf(id4); got != http.StatusOK {
+		t.Errorf("fresh id4: status %d, want 200", got)
+	}
+	if n := srv.StmtCount(); n != 1 {
+		t.Errorf("StmtCount = %d, want 1", n)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "mxqd_stmts_evicted_total 3") {
+		t.Errorf("metrics lack mxqd_stmts_evicted_total 3:\n%s", mbody)
+	}
+}
+
+// failingWriter is a ResponseWriter whose body writes fail — a client
+// that vanished mid-stream.
+type failingWriter struct{ h http.Header }
+
+func (f *failingWriter) Header() http.Header       { return f.h }
+func (f *failingWriter) WriteHeader(int)           {}
+func (f *failingWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("client gone") }
+
+// TestServerSerializeFailure: a result stream that fails mid-write is
+// counted, and the latency histogram still gets its observation (the
+// clock runs to end-of-stream).
+func TestServerSerializeFailure(t *testing.T) {
+	db := mxq.Open()
+	db.LoadXMark("auction.xml", 0.002, 11)
+	srv := New(db, Config{})
+	stmt, err := db.Prepare(`1 to 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.run(nil, &failingWriter{h: make(http.Header)}, stmt)
+	if got := srv.metrics.serializeFailures.Load(); got != 1 {
+		t.Errorf("serializeFailures = %d, want 1", got)
+	}
+	if got := srv.metrics.latency.count.Load(); got != 1 {
+		t.Errorf("latency count = %d, want 1 (observe must run after serialization)", got)
+	}
+	if got := srv.metrics.queries.Load(); got != 1 {
+		t.Errorf("queries = %d, want 1", got)
 	}
 }
 

@@ -409,6 +409,17 @@ func (p *Pool) Register(c *Container) *Container {
 // Get returns the container with the given id.
 func (p *Pool) Get(id int32) *Container { return p.containers[id] }
 
+// Rows sums the structural row counts of every registered container —
+// the snapshot input size the query scheduler's worker-budget
+// heuristic scales with.
+func (p *Pool) Rows() int64 {
+	var n int64
+	for _, c := range p.containers {
+		n += int64(c.Len())
+	}
+	return n
+}
+
 // Snapshot returns a shallow copy of the pool: it shares the registered
 // containers (immutable once registered) but owns its registry, so
 // containers registered later — per-query transients, concurrently

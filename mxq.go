@@ -42,6 +42,7 @@ import (
 
 	"mxq/internal/core"
 	"mxq/internal/pages"
+	"mxq/internal/sched"
 	"mxq/internal/scj"
 	"mxq/internal/store"
 	"mxq/internal/xmark"
@@ -126,6 +127,40 @@ func WithParallelThreshold(n int) Option {
 // default size).
 func WithPlanCacheSize(n int) Option {
 	return func(c *core.Config) { c.PlanCacheSize = n }
+}
+
+// Scheduler is the global query scheduler: admission control over
+// concurrent executions plus one bounded worker-slot pool they all
+// share, so N in-flight queries never claim N×cores goroutines. Build
+// one with NewScheduler and install it with WithScheduler; one
+// scheduler may serve several DBs.
+type Scheduler = sched.Scheduler
+
+// SchedulerConfig sizes a Scheduler; zero fields pick the documented
+// defaults (pool = GOMAXPROCS workers, 2×pool concurrent executions,
+// 2×that queued admissions).
+type SchedulerConfig = sched.Config
+
+// SchedulerStats is a point-in-time snapshot of a scheduler's
+// admission and pool counters.
+type SchedulerStats = sched.Stats
+
+// ErrQueueFull is returned by a scheduled execution when the
+// scheduler's admission queue is full — the overload signal the
+// serving layer maps to 503.
+var ErrQueueFull = sched.ErrQueueFull
+
+// NewScheduler builds a global query scheduler.
+func NewScheduler(cfg SchedulerConfig) *Scheduler { return sched.New(cfg) }
+
+// WithScheduler runs the DB's executions under a global query
+// scheduler: every execution admits itself (bounded concurrency with
+// deadline-aware queueing) and draws its parallel workers from the
+// scheduler's shared slot pool under a budget derived from the plan's
+// cost hints. Combine with WithParallel; serial execution under a
+// scheduler still gets admission control, just with budget 1.
+func WithScheduler(s *Scheduler) Option {
+	return func(c *core.Config) { c.Scheduler = s }
 }
 
 // WithVerifyPlans runs the static plan verifier over every compiled
