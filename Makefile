@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-ci fmt vet build test race race-cover bench bench-smoke serve-smoke fuzz-short cover lint mxqlint verify
+.PHONY: check check-ci fmt vet build test race race-cover bench bench-smoke serve-smoke fuzz-short chaos-smoke cover lint mxqlint verify
 
 # check is the CI gate: formatting, vet, build, and the full test suite
 # under the race detector (the parallel executor must stay race-clean).
@@ -87,6 +87,17 @@ serve-smoke:
 MXQ_FUZZ_SEED ?= 424242
 fuzz-short:
 	MXQ_FUZZ_SEED=$(MXQ_FUZZ_SEED) $(GO) test -run 'TestDifferentialFuzz' -count=1 -v .
+
+# chaos-smoke runs the deterministic fault-injection suite under the
+# race detector: the XMark mix with errors, cancellations, and panics
+# injected at every registered site (docs/robustness.md), plus the
+# serving-layer stream faults and the graceful-shutdown contract.
+# MXQ_FAULTS_SEED varies the injection schedule (CI passes the workflow
+# run id); re-run with the printed seed to replay a failure exactly.
+MXQ_FAULTS_SEED ?= 424242
+chaos-smoke:
+	MXQ_FAULTS_SEED=$(MXQ_FAULTS_SEED) $(GO) test -race -count=1 -v ./internal/chaos/
+	MXQ_FAULTS_SEED=$(MXQ_FAULTS_SEED) $(GO) test -race -count=1 -run 'TestServeStreamChaos|TestGracefulShutdown|TestShutdownDeadline' ./internal/serve/
 
 cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...

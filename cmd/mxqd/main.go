@@ -24,11 +24,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"mxq"
+	"mxq/internal/faults"
 	"mxq/internal/serve"
 )
 
@@ -60,9 +62,31 @@ func main() {
 		maxStmts     = flag.Int("max-stmts", serve.DefaultMaxStmts, "max live prepared statements before LRU eviction")
 		stmtTTL      = flag.Duration("stmt-ttl", serve.DefaultStmtTTL, "evict prepared statements idle this long (negative = never)")
 		maxConns     = flag.Int("max-conns", 0, "max open client connections (0 = unlimited)")
+		memPerQuery  = flag.String("mem-per-query", "0", "per-query memory budget, e.g. 256MiB (0 = unlimited); over-budget queries fail with 503")
+		memTotal     = flag.String("mem-total", "0", "global memory pool bounding the sum of per-query reservations, e.g. 4GiB (0 = unlimited); exhausted admissions answer 503")
 	)
 	flag.Var(&docs, "doc", "load an XML document, name=path (repeatable)")
 	flag.Parse()
+	memPQ, err := parseBytes(*memPerQuery)
+	if err != nil {
+		log.Fatalf("mxqd: -mem-per-query: %v", err)
+	}
+	memTot, err := parseBytes(*memTotal)
+	if err != nil {
+		log.Fatalf("mxqd: -mem-total: %v", err)
+	}
+	if memTot > 0 && memPQ == 0 {
+		log.Fatalf("mxqd: -mem-total requires -mem-per-query (the pool bounds per-query reservations)")
+	}
+	// Deterministic fault injection for chaos testing: MXQ_FAULTS holds
+	// "site:prob:seed[:mode],..." specs (see internal/faults). Unset in
+	// production; the disarmed registry is a single atomic load per site.
+	if err := faults.SetFromEnv(); err != nil {
+		log.Fatalf("mxqd: MXQ_FAULTS: %v", err)
+	}
+	if faults.Armed() {
+		log.Printf("mxqd: fault injection ARMED via MXQ_FAULTS=%s", os.Getenv("MXQ_FAULTS"))
+	}
 
 	// The daemon always runs under a global scheduler: admission and the
 	// worker budget come from one place whether execution is serial or
@@ -71,6 +95,8 @@ func main() {
 		Workers:       *schedWorkers,
 		MaxConcurrent: *maxInflight,
 		MaxQueue:      *queueDepth,
+		MemPerQuery:   memPQ,
+		MemTotal:      memTot,
 	})
 	opts := []mxq.Option{mxq.WithScheduler(scheduler)}
 	if *parallel {
@@ -110,6 +136,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("mxqd: %v", err)
 	}
+	if memPQ > 0 {
+		log.Printf("memory governance: %s per query, %s total", *memPerQuery, *memTotal)
+	}
 	if *maxConns > 0 {
 		ln = serve.LimitListener(ln, *maxConns)
 	}
@@ -130,4 +159,31 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("mxqd: shutdown: %v", err)
 	}
+}
+
+// parseBytes parses a byte size: a plain integer, or one with a K/M/G/T
+// suffix (optionally followed by "iB" or "B"), binary-scaled — "256MiB",
+// "256M" and "268435456" are the same size.
+func parseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	shift := 0
+	for suf, sh := range map[string]int{"K": 10, "M": 20, "G": 30, "T": 40} {
+		for _, full := range []string{suf + "iB", suf + "B", suf} {
+			if strings.HasSuffix(t, full) {
+				t, shift = strings.TrimSuffix(t, full), sh
+				break
+			}
+		}
+		if shift != 0 {
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q (want e.g. 256MiB, 4G, or a byte count)", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size %q", s)
+	}
+	return n << shift, nil
 }

@@ -16,6 +16,7 @@
 //	xmarkbench -experiment prepared # prepared statements: bind+execute vs cold parse+compile+execute
 //	xmarkbench -experiment serve    # HTTP serving layer: N wire clients x M prepared statements
 //	xmarkbench -experiment sched    # global query scheduler under 4x oversubscription, differential vs serial
+//	xmarkbench -experiment mem      # per-query memory governance: accounting overhead + typed aborts
 //	xmarkbench -experiment all
 //
 // The -parallel flag switches every experiment's MXQ engine to parallel
@@ -52,7 +53,7 @@ var (
 	seedFlag    = flag.Int64("seed", 42, "generator seed")
 	runsFlag    = flag.Int("runs", 3, "report the best of N runs (the paper uses 5)")
 	timeoutFlag = flag.Duration("timeout", 60*time.Second, "per-query soft time limit; slower entries print DNF")
-	expFlag     = flag.String("experiment", "all", "experiment to run (table1, fig12, fig13, fig14, fig15, fig16, shred, plans, updates, parallel, collection, prepared, serve, sched, all)")
+	expFlag     = flag.String("experiment", "all", "experiment to run (table1, fig12, fig13, fig14, fig15, fig16, shred, plans, updates, parallel, collection, prepared, serve, sched, mem, all)")
 
 	parallelFlag = flag.Bool("parallel", false, "run MXQ engines with intra-query parallel execution")
 	workersFlag  = flag.Int("workers", 0, "parallel worker goroutines (0 = GOMAXPROCS)")
@@ -83,6 +84,7 @@ func main() {
 	run("prepared", prepared)
 	run("serve", serveExp)
 	run("sched", schedExp)
+	run("mem", memExp)
 }
 
 func parseScales(s string) []float64 {

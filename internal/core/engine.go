@@ -83,6 +83,14 @@ type Config struct {
 	// unscheduled behavior: executions run immediately with a private
 	// Workers-sized pool each.
 	Scheduler *sched.Scheduler
+	// MemLimit is the default per-execution memory budget in bytes:
+	// operators charge estimated bytes as they materialize rows, and an
+	// over-budget execution aborts promptly (workers drain at their next
+	// poll, partial tables are discarded) with a typed
+	// resource-exhausted error (xqerr.CodeResourceLimit). When a
+	// scheduler grant carries its own memory limit the smaller nonzero
+	// limit wins. 0 means unlimited.
+	MemLimit int64
 	// VerifyPlans runs the static plan verifier (internal/planck) over
 	// every compiled plan — the main plan and each prolog parameter
 	// initializer, before and after optimization — and fails compilation

@@ -3,12 +3,12 @@ package core
 import (
 	"context"
 	"errors"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"mxq/internal/ralg"
+	"mxq/internal/testutil"
 	"mxq/internal/xqc"
 )
 
@@ -76,7 +76,7 @@ func TestCancelledExecDrainsWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Prepare: %v", err)
 	}
-	before := runtime.NumGoroutine()
+	testutil.CheckGoroutines(t)
 	for i := 0; i < 3; i++ {
 		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 		res, err := p.ExecuteContext(ctx, nil)
@@ -88,18 +88,8 @@ func TestCancelledExecDrainsWorkers(t *testing.T) {
 			t.Fatalf("run %d: got partial result", i)
 		}
 	}
-	// allow exiting goroutines to be reaped before comparing
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d before, %d after cancelled executions",
-				before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	// testutil.CheckGoroutines asserts at cleanup that the cancelled
+	// executions' workers all drained
 }
 
 // TestExecutePanicContained feeds the executor a malformed plan — a

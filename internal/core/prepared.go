@@ -165,6 +165,23 @@ func (p *Prepared) ExecuteContext(ctx context.Context, b Bindings) (res *Result,
 	}
 	ex.ContextDoc = doc
 	ex.Ctx = ctx
+	limit := e.cfg.MemLimit
+	if grant != nil {
+		if gl := grant.MemLimit(); gl > 0 && (limit == 0 || gl < limit) {
+			limit = gl
+		}
+	}
+	if mem := ralg.NewMemBudget(limit); mem != nil {
+		// The pinned snapshot is the execution's first materialized
+		// state: charge one byte per structural row up front, so a budget
+		// smaller than the context documents fails with the typed error
+		// before the first operator runs.
+		mem.Charge(qp.Rows())
+		if err := mem.Err(); err != nil {
+			return nil, err
+		}
+		ex.Mem = mem
+	}
 	env := make(ralg.Bindings, len(p.cq.Params))
 	ex.Bindings = env
 	for i := range p.cq.Params {

@@ -22,6 +22,11 @@ func TestCancelCheckFixtures(t *testing.T) {
 	runFixture(t, CancelCheck, "testdata/cancelcheck/scj")
 }
 
+func TestAllocCheckFixtures(t *testing.T) {
+	runFixture(t, AllocCheck, "testdata/alloccheck/ralg")
+	runFixture(t, AllocCheck, "testdata/alloccheck/scj")
+}
+
 func TestWaitCheckFixtures(t *testing.T) {
 	runFixture(t, WaitCheck, "testdata/waitcheck/sched")
 }

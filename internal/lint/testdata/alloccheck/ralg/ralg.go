@@ -1,0 +1,75 @@
+// Fixture: the ralg side of alloccheck. Not compiled into the module
+// (testdata); syntax-only analysis, so stub types suffice.
+package ralg
+
+type Exec struct{}
+
+func (e *Exec) charge(n int64) bool { return true }
+
+type Table struct{ N int }
+
+func (e *Exec) chargeTable(t *Table) bool { return true }
+
+func (e *Exec) execBad(in *Table) *Table { // want "execBad: materializing allocation never charges"
+	out := make([]int64, in.N)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return in
+}
+
+func (e *Exec) execGood(in *Table) *Table {
+	e.charge(8 * int64(in.N))
+	out := make([]int64, in.N)
+	_ = out
+	return in
+}
+
+func (e *Exec) execGoodTable(in *Table) *Table {
+	out := &Table{N: in.N}
+	_ = make([]int64, in.N)
+	e.chargeTable(out)
+	return out
+}
+
+// execViaHelper reaches the charge through a same-package helper: the
+// call-graph closure must accept it.
+func (e *Exec) execViaHelper(in *Table) *Table {
+	_ = make([]int64, in.N)
+	e.chargingHelper(in)
+	return in
+}
+
+func (e *Exec) chargingHelper(in *Table) { e.charge(int64(in.N)) }
+
+// execAllocInClosure hides its allocation inside a function literal;
+// the allocation is still this operator's, so the missing charge fires.
+func (e *Exec) execAllocInClosure(in *Table) *Table { // want "execAllocInClosure: materializing allocation never charges"
+	var rows []int64
+	work := func() {
+		rows = append(rows, 1)
+	}
+	work()
+	return in
+}
+
+// alloccheck:exempt zero-copy column header remap, no row payloads
+func (e *Exec) execExempt(in *Table) *Table {
+	_ = make([]int64, in.N)
+	return in
+}
+
+// alloccheck:exempt
+func (e *Exec) execExemptNoReason(in *Table) *Table { // want "execExemptNoReason: materializing allocation never charges"
+	_ = make([]int64, in.N)
+	return in
+}
+
+// execNoAlloc never allocates, so it is not a candidate.
+func (e *Exec) execNoAlloc(in *Table) *Table { return in }
+
+// notAnOperator allocates without charging but is not an exec* entry
+// point.
+func notAnOperator(in *Table) {
+	_ = make([]int64, in.N)
+}

@@ -1,0 +1,47 @@
+// Fixture: the scj side of alloccheck. Only the parallel step drivers
+// (par* functions threading a *Stats) owe a charge; serial kernels are
+// charged by their callers.
+package scj
+
+type Stats struct {
+	Charge func(n int64) bool
+}
+
+func (st *Stats) charge(n int64) {
+	if st.Charge != nil {
+		st.Charge(n)
+	}
+}
+
+type Pairs struct{ Pre []int32 }
+
+func (p *Pairs) Len() int { return len(p.Pre) }
+
+func parBad(ctx Pairs, workers int, st *Stats) Pairs { // want "parBad: materializing allocation never charges"
+	out := Pairs{Pre: make([]int32, 0, ctx.Len())}
+	for _, p := range ctx.Pre {
+		out.Pre = append(out.Pre, p)
+	}
+	return out
+}
+
+func parGood(ctx Pairs, workers int, st *Stats) Pairs {
+	out := Pairs{Pre: make([]int32, 0, ctx.Len())}
+	for _, p := range ctx.Pre {
+		out.Pre = append(out.Pre, p)
+	}
+	st.charge(8 * int64(out.Len()))
+	return out
+}
+
+// serialKernel allocates without charging, but it is not a par* driver:
+// its caller owns the charge.
+func serialKernel(ctx Pairs, out *Pairs, st *Stats) {
+	out.Pre = append(out.Pre, ctx.Pre...)
+}
+
+// parNoStats allocates but does not thread a *Stats, so it is not a
+// candidate (nothing to charge against).
+func parNoStats(ctx Pairs, workers int) Pairs {
+	return Pairs{Pre: make([]int32, ctx.Len())}
+}

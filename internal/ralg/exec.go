@@ -9,6 +9,7 @@ import (
 	"strings"
 	"unicode/utf8"
 
+	"mxq/internal/faults"
 	"mxq/internal/scj"
 	"mxq/internal/store"
 	"mxq/internal/xqerr"
@@ -60,6 +61,13 @@ type Bindings map[string]ItemVec
 // memoizing a table produced under a cancelled context. A nil Ctx (the
 // default) disables all checks. Sorts run to completion (a cancelled
 // query still returns within one sort of its largest intermediate).
+//
+// Mem is the execution's memory budget (nil = unlimited). Operators
+// charge the bytes they materialize through charge/chargeTable; an
+// exceeded budget trips the same stopRequested poll the cancellation
+// machinery uses, so workers drain and partial tables are discarded
+// identically, and Run surfaces the typed resource-exhausted error
+// instead of memoizing.
 type Exec struct {
 	Pool       *store.Pool
 	Transient  *store.Container
@@ -68,6 +76,7 @@ type Exec struct {
 	ContextDoc string
 	Bindings   Bindings
 	Ctx        context.Context
+	Mem        *MemBudget
 
 	memo map[Plan]*Table
 	done <-chan struct{} // Ctx.Done(), captured once at Run entry
@@ -103,29 +112,41 @@ func (e *Exec) Run(p Plan) (*Table, error) {
 		}
 		in = append(in, t)
 	}
+	if err := faults.RalgOp.Err(); err != nil {
+		return nil, err
+	}
 	t, err := e.apply(p, in)
 	if err != nil {
 		return nil, err
 	}
-	// an operator that observed the cancellation may have stopped early
-	// with a partial table: surface the context error instead of
-	// memoizing it
+	// an operator that observed the cancellation or an exhausted memory
+	// budget may have stopped early with a partial table: surface the
+	// error instead of memoizing it (context first, matching the
+	// precedence a cancelled-and-over-budget execution reports)
 	if e.Ctx != nil {
 		if err := e.Ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
+	if err := e.Mem.Err(); err != nil {
+		return nil, err
+	}
 	if t.N > MaxRows {
-		return nil, fmt.Errorf("ralg: intermediate result of %s exceeds %d rows", p.Name(), MaxRows)
+		return nil, xqerr.Newf(xqerr.CodeResourceLimit,
+			"intermediate result of %s exceeds the %d-row limit", p.Name(), MaxRows)
 	}
 	e.memo[p] = t
 	return t, nil
 }
 
-// stopRequested reports whether the execution's context has expired; it
-// is the cheap poll the operator loops amortize over a few thousand rows.
-// Safe to call from worker goroutines (it only reads the done channel).
+// stopRequested reports whether the execution's context has expired or
+// its memory budget is exhausted; it is the cheap poll the operator
+// loops amortize over a few thousand rows. Safe to call from worker
+// goroutines (it reads the done channel and an atomic flag).
 func (e *Exec) stopRequested() bool {
+	if e.Mem.Exceeded() {
+		return true
+	}
 	if e.done == nil {
 		return false
 	}
@@ -138,13 +159,44 @@ func (e *Exec) stopRequested() bool {
 }
 
 // stopFunc returns the cancellation poll handed to the staircase-join
-// layer, or nil when the execution carries no context (so the scj fast
-// path stays branch-free).
+// layer, or nil when the execution carries neither a context nor a
+// memory budget (so the scj fast path stays branch-free).
 func (e *Exec) stopFunc() func() bool {
-	if e.Ctx == nil {
+	if e.Ctx == nil && e.Mem == nil {
 		return nil
 	}
 	return e.stopRequested
+}
+
+// stopErr returns the error behind a stopRequested signal: the context
+// error when the context expired, the typed budget error when the
+// memory budget tripped. Returns nil only on a spurious call.
+func (e *Exec) stopErr() error {
+	if e.Ctx != nil {
+		if err := e.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return e.Mem.Err()
+}
+
+// charge accounts n bytes of materialized storage against the memory
+// budget; false means the execution is over budget and should stop at
+// its next poll.
+func (e *Exec) charge(n int64) bool { return e.Mem.Charge(n) }
+
+// chargeTable charges a freshly materialized table's storage. Call it
+// only from the operator that allocated the storage — zero-copy views
+// over an input must not re-charge shared payload slices.
+func (e *Exec) chargeTable(t *Table) bool { return e.Mem.Charge(t.MemBytes()) }
+
+// chargeFunc returns the accounting hook handed to the staircase-join
+// layer, or nil when the execution carries no budget.
+func (e *Exec) chargeFunc() func(int64) bool {
+	if e.Mem == nil {
+		return nil
+	}
+	return e.Mem.Charge
 }
 
 func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
@@ -164,7 +216,10 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 	case *Project:
 		return execProject(n, in[0])
 	case *Attach:
-		return execAttach(n, in[0]), nil
+		t := execAttach(n, in[0])
+		// the attached constant column is the only fresh allocation
+		e.charge(t.cols[len(t.cols)-1].MemBytes())
+		return t, nil
 	case *Select:
 		return e.execSelect(n, in[0]), nil
 	case *Fun:
@@ -180,7 +235,9 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 	case *Cross:
 		return e.execCross(n, in[0], in[1])
 	case *Union:
-		return execUnion(in), nil
+		t := execUnion(in)
+		e.chargeTable(t)
+		return t, nil
 	case *Diff:
 		return e.execDiff(n, in[0], in[1]), nil
 	case *Distinct:
@@ -208,6 +265,8 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 }
 
 // cancelcheck:exempt zero-copy column view plus one memory-bound flag copy
+// alloccheck:exempt zero-copy column view; only the bool case expands one
+// flag vector, bounded by a constant factor of the already-charged input
 func execColToItem(n *ColToItem, in *Table) *Table {
 	src := in.Col(n.Src)
 	var v ItemVec
@@ -243,16 +302,19 @@ func (e *Exec) execRangeGen(n *RangeGen, in *Table) (*Table, error) {
 		a := int64(lo.At(i).AsDouble())
 		b := int64(hi.At(i).AsDouble())
 		if b-a > MaxRows {
-			return nil, fmt.Errorf("ralg: range %d to %d too large", a, b)
+			return nil, xqerr.Newf(xqerr.CodeResourceLimit,
+				"range %d to %d exceeds the %d-row limit", a, b, MaxRows)
 		}
 		if b < a {
 			continue
 		}
+		// 24 B/row: the iter, pos and item int64 columns
 		sinceCheck += int(b-a) + 1
 		if sinceCheck >= 1<<16 {
+			e.charge(int64(sinceCheck) * 24)
 			sinceCheck = 0
 			if e.stopRequested() {
-				return nil, e.Ctx.Err()
+				return nil, e.stopErr()
 			}
 		}
 		base := tc.Item.growRows(xqt.KInt, int(b-a)+1)
@@ -265,11 +327,14 @@ func (e *Exec) execRangeGen(n *RangeGen, in *Table) (*Table, error) {
 			pos++
 		}
 	}
+	e.charge(int64(sinceCheck) * 24)
 	out.N = ic.Len()
 	return out, nil
 }
 
 // cancelcheck:exempt two memory-bound integer-column scans
+// alloccheck:exempt transient membership scratch bounded by the charged
+// input column, freed at return; the output is the input, zero-copy
 func execCoverCheck(n *CoverCheck, loop, in *Table) (*Table, error) {
 	have := make(map[int64]bool, in.N)
 	for _, it := range in.Ints(n.Part) {
@@ -324,6 +389,7 @@ func (e *Exec) execParam(n *ParamTable) (*Table, error) {
 	}
 	t := NewTable([]string{"pos", "item"}, []ColKind{KInt, KItem})
 	t.N = v.Len()
+	e.charge(8 * int64(v.Len())) // the pos column; the item vector is the caller's binding
 	pc := t.Col("pos")
 	pc.Int = make([]int64, v.Len())
 	for i := range pc.Int {
@@ -351,10 +417,12 @@ func (e *Exec) execCollectionRoot(n *CollectionRoot) (*Table, error) {
 		tc.Item.Cont[i] = conts[i]
 		tc.Item.I[i] = int64(pres[i])
 	}
+	e.chargeTable(t)
 	return t, nil
 }
 
 // cancelcheck:exempt per-column header remap, no per-row work
+// alloccheck:exempt zero-copy: O(columns) header slices, no row payloads
 func execProject(n *Project, in *Table) (*Table, error) {
 	out := &Table{N: in.N}
 	for _, ref := range n.Cols {
@@ -368,6 +436,8 @@ func execProject(n *Project, in *Table) (*Table, error) {
 }
 
 // cancelcheck:exempt memory-bound constant-column fill
+// alloccheck:exempt no Exec receiver; the apply dispatch charges the
+// attached column
 func execAttach(n *Attach, in *Table) *Table {
 	out := &Table{N: in.N, names: append([]string(nil), in.names...), cols: append([]Col(nil), in.cols...)}
 	c := Col{Kind: n.Kind}
@@ -402,7 +472,9 @@ func (e *Exec) execSelect(n *Select, in *Table) *Table {
 				idx = append(idx, int32(i))
 			}
 		}
-		return in.Gather(idx)
+		out := in.Gather(idx)
+		e.chargeTable(out)
+		return out
 	}
 	rs := splitRows(in.N, e.Par.Workers)
 	parts := make([][]int32, len(rs))
@@ -423,7 +495,9 @@ func (e *Exec) execSelect(n *Select, in *Table) *Table {
 	for _, p := range parts {
 		idx = append(idx, p...)
 	}
-	return e.gather(in, idx)
+	out := e.gather(in, idx)
+	e.chargeTable(out)
+	return out
 }
 
 // seqRank numbers rows 1.. per contiguous part run within [lo, hi); lo
@@ -441,6 +515,7 @@ func seqRank(part, rank []int64, lo, hi int) {
 }
 
 func (e *Exec) execRowNum(n *RowNum, in *Table) *Table {
+	e.charge(8 * int64(in.N)) // the rank column
 	rank := make([]int64, in.N)
 	switch n.Mode {
 	case RankStream:
@@ -527,7 +602,9 @@ func (e *Exec) execSort(n *Sort, in *Table) *Table {
 		e.Stats.FullSorts++
 	}
 	idx := SortIdx(in, n.By, n.Desc, n.RefinePrefix)
-	return in.Gather(idx)
+	out := in.Gather(idx)
+	e.chargeTable(out)
+	return out
 }
 
 func (e *Exec) execHashJoin(n *HashJoin, l, r *Table) (*Table, error) {
@@ -573,15 +650,23 @@ func (e *Exec) execHashJoin(n *HashJoin, l, r *Table) (*Table, error) {
 		ht := e.buildHashTable(rkey)
 		lidx, ridx = e.parPairs(l.N, func(lo, hi int) ([]int32, []int32) {
 			var li, ri []int32
+			charged := 0
 			for i := lo; i < hi; i++ {
-				if (i-lo)&4095 == 4095 && e.stopRequested() {
-					break
+				if (i-lo)&4095 == 4095 {
+					// probe output can explode on skewed keys: charge the
+					// pairs as they accumulate, not just the final table
+					e.charge(8 * int64(len(li)-charged))
+					charged = len(li)
+					if e.stopRequested() {
+						break
+					}
 				}
 				for _, j := range ht.lookup(lkey[i]) {
 					li = append(li, int32(i))
 					ri = append(ri, j)
 				}
 			}
+			e.charge(8 * int64(len(li)-charged))
 			return li, ri
 		})
 	}
@@ -613,20 +698,26 @@ func (e *Exec) joinGather(l, r *Table, lcols, rcols []ColRef, lidx, ridx []int32
 			fill(i)
 		}
 	}
+	e.chargeTable(out)
 	return out, nil
 }
 
 func (e *Exec) execCross(n *Cross, l, r *Table) (*Table, error) {
 	total := int64(l.N) * int64(r.N)
 	if total > MaxRows {
-		return nil, fmt.Errorf("ralg: Cartesian product of %d x %d rows exceeds limit", l.N, r.N)
+		return nil, xqerr.Newf(xqerr.CodeResourceLimit,
+			"Cartesian product of %d x %d rows exceeds the %d-row limit", l.N, r.N, MaxRows)
+	}
+	// the full pair-index size is known up front: charge before allocating
+	if !e.charge(8 * total) {
+		return nil, e.Mem.Err()
 	}
 	e.Stats.CrossRows += total
 	lidx := make([]int32, 0, total)
 	ridx := make([]int32, 0, total)
 	for i := 0; i < l.N; i++ {
 		if i&255 == 255 && e.stopRequested() {
-			return nil, e.Ctx.Err()
+			return nil, e.stopErr()
 		}
 		for j := 0; j < r.N; j++ {
 			lidx = append(lidx, int32(i))
@@ -637,6 +728,7 @@ func (e *Exec) execCross(n *Cross, l, r *Table) (*Table, error) {
 }
 
 // cancelcheck:exempt memory-bound column concatenation
+// alloccheck:exempt no Exec receiver; the apply dispatch charges the result
 func execUnion(in []*Table) *Table {
 	first := in[0]
 	out := &Table{}
@@ -664,6 +756,7 @@ func execUnion(in []*Table) *Table {
 }
 
 func (e *Exec) execDiff(n *Diff, l, r *Table) *Table {
+	e.charge(16 * int64(r.N)) // the key set, sized up front
 	rset := make(map[int64]bool, r.N)
 	for i, k := range r.Ints(n.RKey) {
 		if i&8191 == 8191 && e.stopRequested() {
@@ -680,7 +773,9 @@ func (e *Exec) execDiff(n *Diff, l, r *Table) *Table {
 			idx = append(idx, int32(i))
 		}
 	}
-	return l.Gather(idx)
+	out := l.Gather(idx)
+	e.chargeTable(out)
+	return out
 }
 
 func (e *Exec) execDistinct(n *Distinct, in *Table) *Table {
@@ -703,6 +798,7 @@ func (e *Exec) execDistinct(n *Distinct, in *Table) *Table {
 		for i, c := range cols {
 			encs[i] = colKeyEnc(c)
 		}
+		e.charge(24 * int64(in.N)) // the dedup set, sized up front
 		seen := make(map[string]bool, in.N)
 		var key []byte
 		for i := 0; i < in.N; i++ {
@@ -720,7 +816,9 @@ func (e *Exec) execDistinct(n *Distinct, in *Table) *Table {
 			}
 		}
 	}
-	return in.Gather(idx)
+	out := in.Gather(idx)
+	e.chargeTable(out)
+	return out
 }
 
 // keyEnc appends the hashable encoding of one column's row i to buf.
@@ -807,6 +905,7 @@ func (e *Exec) execAggr(n *Aggr, in *Table) (*Table, error) {
 			}
 		}
 		out.N = out.Col(n.Part).Len()
+		e.chargeTable(out)
 		return out, nil
 	}
 	pc, vc := aggrRange(n, part, arg, 0, in.N, e.stopFunc())
@@ -814,6 +913,7 @@ func (e *Exec) execAggr(n *Aggr, in *Table) (*Table, error) {
 	out.N = len(pc)
 	out.Col(n.Part).Int = pc
 	out.Col(n.Out).Item = NewItemVec(vc)
+	e.chargeTable(out)
 	return out, nil
 }
 
@@ -1090,8 +1190,10 @@ func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
 		}
 		stats := make([]scj.Stats, len(segs))
 		stop := e.stopFunc()
+		charge := e.chargeFunc()
 		e.Par.parRun(len(segs), func(k int) {
 			stats[k].Stop = stop
+			stats[k].Charge = charge
 			budget := int(int64(e.Par.Workers) * weights[k] / total)
 			results[k] = e.stepSegRun(n, iters, items, segs[k], budget, &stats[k])
 		})
@@ -1103,6 +1205,7 @@ func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
 	} else {
 		stop := e.stopFunc()
 		e.Stats.Step.Stop = stop
+		e.Stats.Step.Charge = e.chargeFunc()
 		for k, s := range segs {
 			if stop != nil && stop() {
 				break
@@ -1110,11 +1213,18 @@ func (e *Exec) execStep(n *Step, in *Table) (*Table, error) {
 			results[k] = e.stepSegRun(n, iters, items, s, e.Par.Workers, &e.Stats.Step)
 		}
 		e.Stats.Step.Stop = nil
+		e.Stats.Step.Charge = nil
 	}
 	out := NewTable([]string{"iter", "item"}, []ColKind{KInt, KItem})
 	total := 0
 	for _, r := range results {
 		total += r.Len()
+	}
+	// 20 B/row: the iter int64 plus the node column's cont/pre vectors;
+	// the size is known before allocating, so an over-budget step fails
+	// without materializing the output
+	if !e.charge(20 * int64(total)) {
+		return nil, e.Mem.Err()
 	}
 	ic := out.Col("iter")
 	tc := out.Col("item")
@@ -1172,6 +1282,7 @@ func (e *Exec) execAttrStep(n *AttrStep, in *Table) (*Table, error) {
 		out.Col("item").Item = tc
 	}
 	out.N = out.Col("iter").Len()
+	e.chargeTable(out)
 	return out, nil
 }
 
@@ -1243,6 +1354,7 @@ func (e *Exec) execEBV(n *EBV, in *Table) (*Table, error) {
 		i = j
 	}
 	out.N = pc.Len()
+	e.chargeTable(out)
 	return out, nil
 }
 
@@ -1425,6 +1537,12 @@ func (v vecView) strs(n int) []string {
 // parallel (every row is independent; atomization only reads
 // containers).
 func (e *Exec) execFun(n *Fun, in *Table) (*Table, error) {
+	// one output column of in.N rows, whatever the path below: charge a
+	// flat estimate up front (bool outputs are 1 B/row, item outputs up
+	// to ~40 B/row; 16 B is the mid estimate the bench validates)
+	if !e.charge(16 * int64(in.N)) {
+		return nil, e.Mem.Err()
+	}
 	out := &Table{N: in.N, names: append([]string(nil), in.names...), cols: append([]Col(nil), in.cols...)}
 	switch n.Op {
 	case FunAnd, FunOr:
@@ -1662,6 +1780,9 @@ func bothViewable(n *Fun, in *Table) bool {
 // vectors. Returns ok=false when a column is mixed (or the op has no
 // kernel); the caller then takes the per-row path, which computes the
 // identical result.
+//
+// alloccheck:exempt the output column is covered by execFun's upfront
+// per-row charge; this is only its typed fast path
 func (e *Exec) execFunVec(n *Fun, in *Table) (Col, bool) {
 	nr := in.N
 	switch n.Op {
@@ -2127,6 +2248,11 @@ func (e *Exec) execExistJoin(n *ExistJoin, l, r *Table) (*Table, error) {
 	var p1, p2 []int64
 	switch {
 	case n.Cmp == xqt.CmpEq && uniform:
+		// the build table hashes the whole right input: charge it before
+		// the package-level join helpers allocate it
+		if !e.charge(32 * int64(r.N)) {
+			return nil, e.Mem.Err()
+		}
 		if numeric {
 			p1, p2 = existHashJoinF(liter, toFloats(lv, lok, latoms, l.N), riter, toFloats(rv, rok, ratoms, r.N))
 		} else {
@@ -2165,9 +2291,14 @@ func (e *Exec) execExistJoin(n *ExistJoin, l, r *Table) (*Table, error) {
 			ratoms = viewAtoms(rv, r.N)
 		}
 		e.Stats.ThetaNL++
+		charged := 0
 		for i := range latoms {
-			if i&255 == 255 && e.stopRequested() {
-				break
+			if i&255 == 255 {
+				e.charge(16 * int64(len(p1)-charged))
+				charged = len(p1)
+				if e.stopRequested() {
+					break
+				}
 			}
 			for j := range ratoms {
 				if xqt.Compare(latoms[i], ratoms[j], n.Cmp) {
@@ -2176,6 +2307,7 @@ func (e *Exec) execExistJoin(n *ExistJoin, l, r *Table) (*Table, error) {
 				}
 			}
 		}
+		e.charge(16 * int64(len(p1)-charged))
 		p1, p2 = dedupPairs(p1, p2)
 	}
 	out := NewTable([]string{n.Out1, n.Out2}, []ColKind{KInt, KInt})
@@ -2290,6 +2422,7 @@ func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, lf []float64, ls []st
 	strategy := n.Strategy
 	small := int64(nl)*int64(nrt) <= 4096
 	// build the transient index (needed for sampling and index lookup)
+	e.charge(4 * int64(nrt))
 	perm := make([]int32, nrt)
 	for i := range perm {
 		perm[i] = int32(i)
@@ -2333,12 +2466,19 @@ func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, lf []float64, ls []st
 			}
 		}
 	}
+	// pair output of a dense theta join approaches nl*nrt rows: charge
+	// pairs as they accumulate so the budget trips mid-join
+	charged := 0
 	switch strategy {
 	case ThetaNestedLoop:
 		e.Stats.ThetaNL++
 		for i := 0; i < nl; i++ {
-			if i&255 == 255 && e.stopRequested() {
-				break
+			if i&255 == 255 {
+				e.charge(16 * int64(len(p1)-charged))
+				charged = len(p1)
+				if e.stopRequested() {
+					break
+				}
 			}
 			for j := 0; j < nrt; j++ {
 				if cmpOK(i, j) {
@@ -2350,8 +2490,12 @@ func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, lf []float64, ls []st
 	default:
 		e.Stats.ThetaIdx++
 		for i := 0; i < nl; i++ {
-			if i&1023 == 1023 && e.stopRequested() {
-				break
+			if i&1023 == 1023 {
+				e.charge(16 * int64(len(p1)-charged))
+				charged = len(p1)
+				if e.stopRequested() {
+					break
+				}
 			}
 			lo, hi := matchRange(i)
 			start := len(p2)
@@ -2365,6 +2509,7 @@ func (e *Exec) existThetaJoin(n *ExistJoin, liter []int64, lf []float64, ls []st
 			sort.Slice(chunk, func(a, b int) bool { return chunk[a] < chunk[b] })
 		}
 	}
+	e.charge(16 * int64(len(p1)-charged))
 	return dedupPairs(p1, p2)
 }
 
@@ -2460,7 +2605,7 @@ func (e *Exec) execElem(n *ElemConstruct, in []*Table) (*Table, error) {
 	for _, it := range loop {
 		built++
 		if built&1023 == 0 && e.stopRequested() {
-			return nil, e.Ctx.Err()
+			return nil, e.stopErr()
 		}
 		pre := b.StartElem(n.Tag)
 		for a := range attrs {
@@ -2531,5 +2676,6 @@ func (e *Exec) execElem(n *ElemConstruct, in []*Table) (*Table, error) {
 		tc.Item.Append(xqt.Node(e.Transient.ID, pre))
 	}
 	out.N = ic.Len()
+	e.chargeTable(out)
 	return out, nil
 }

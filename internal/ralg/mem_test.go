@@ -1,0 +1,98 @@
+package ralg
+
+import (
+	"errors"
+	"testing"
+
+	"mxq/internal/xqerr"
+)
+
+func TestMemBudgetNilUnlimited(t *testing.T) {
+	var m *MemBudget
+	if !m.Charge(1 << 40) {
+		t.Fatal("nil budget refused a charge")
+	}
+	if m.Exceeded() || m.Err() != nil || m.Used() != 0 || m.HighWater() != 0 || m.Limit() != 0 {
+		t.Fatal("nil budget is not inert")
+	}
+	if NewMemBudget(0) != nil || NewMemBudget(-5) != nil {
+		t.Fatal("non-positive limits must mean unlimited (nil)")
+	}
+}
+
+func TestMemBudgetLatchAndError(t *testing.T) {
+	m := NewMemBudget(100)
+	if !m.Charge(60) || m.Exceeded() {
+		t.Fatal("in-budget charge misreported")
+	}
+	if m.Charge(60) {
+		t.Fatal("over-budget charge accepted")
+	}
+	if !m.Exceeded() {
+		t.Fatal("exceeded flag not latched")
+	}
+	// the latch stays down even if usage is later released
+	if m.Charge(-100); !m.Exceeded() {
+		t.Fatal("latch reset by negative charge")
+	}
+	err := m.Err()
+	if err == nil {
+		t.Fatal("no error from exceeded budget")
+	}
+	if !xqerr.IsResourceLimit(err) {
+		t.Fatalf("err = %v, want code %s", err, xqerr.CodeResourceLimit)
+	}
+	var qe *xqerr.Error
+	if !errors.As(err, &qe) || qe.Code != xqerr.CodeResourceLimit {
+		t.Fatalf("err not a typed QueryError: %v", err)
+	}
+	if m.HighWater() != 120 {
+		t.Fatalf("high water = %d, want 120", m.HighWater())
+	}
+}
+
+// An over-budget hash-join build must stop early — in both the serial
+// and the partitioned parallel build — with every worker drained by the
+// time buildHashTable returns (the fork-join barrier), and the exceeded
+// flag latched for Run's checkpoint to surface.
+func TestBuildHashTableBudgetAbort(t *testing.T) {
+	rkey := make([]int64, 1<<17)
+	for i := range rkey {
+		rkey[i] = int64(i)
+	}
+	for name, par := range map[string]ParOptions{
+		"serial":   {},
+		"parallel": {Workers: 4, Threshold: 1},
+	} {
+		e := &Exec{Mem: NewMemBudget(4096), Par: par}
+		h := e.buildHashTable(rkey)
+		if h == nil {
+			t.Fatalf("%s: nil hash table", name)
+		}
+		if !e.Mem.Exceeded() {
+			t.Fatalf("%s: budget not exceeded after %d-entry build under a 4KiB budget", name, len(rkey))
+		}
+		if err := e.Mem.Err(); !xqerr.IsResourceLimit(err) {
+			t.Fatalf("%s: err = %v", name, err)
+		}
+		// the abort must be early: nowhere near the full build charged
+		if e.Mem.Used() >= int64(len(rkey))*hashEntryBytes {
+			t.Fatalf("%s: build ran to completion (%d bytes charged)", name, e.Mem.Used())
+		}
+	}
+}
+
+// Table.MemBytes must track capacity, not length, across every column
+// kind — the estimators are what the operators charge.
+func TestTableMemBytes(t *testing.T) {
+	tb := NewTable([]string{"iter", "flag", "item"}, []ColKind{KInt, KBool, KItem})
+	if tb.MemBytes() != 0 {
+		t.Fatalf("empty table MemBytes = %d", tb.MemBytes())
+	}
+	tb.Col("iter").Int = make([]int64, 10)
+	tb.Col("flag").Bool = make([]bool, 10)
+	got := tb.MemBytes()
+	if got != 8*10+10 {
+		t.Fatalf("MemBytes = %d, want %d", got, 8*10+10)
+	}
+}

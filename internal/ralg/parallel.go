@@ -191,26 +191,46 @@ func (h *hashTable) lookup(k int64) []int32 {
 // key column but inserts only the keys it owns, so no serial merge is
 // needed and every key's row list is in right-input order exactly as the
 // serial build produces it.
+// hashEntryBytes is the accounted cost of one build-table entry: the
+// int32 row index plus amortized map bucket overhead.
+const hashEntryBytes = 16
+
 func (e *Exec) buildHashTable(rkey []int64) *hashTable {
 	if !e.Par.on(len(rkey)) {
 		m := make(map[int64][]int32, len(rkey))
 		for j, k := range rkey {
+			if j&8191 == 8191 {
+				// charge the build as it grows so an over-budget query
+				// aborts mid-build instead of after materializing it
+				e.charge(8192 * hashEntryBytes)
+				if e.stopRequested() {
+					break
+				}
+			}
 			m[k] = append(m[k], int32(j))
 		}
+		e.charge(int64(len(rkey)%8192) * hashEntryBytes)
 		return &hashTable{parts: []map[int64][]int32{m}}
 	}
 	nparts := e.Par.Workers
 	h := &hashTable{parts: make([]map[int64][]int32, nparts)}
 	e.Par.parRun(nparts, func(w int) {
 		m := make(map[int64][]int32, len(rkey)/nparts+1)
+		inserted := 0
 		for j, k := range rkey {
-			if j&8191 == 8191 && e.stopRequested() {
-				break
+			if j&8191 == 8191 {
+				e.charge(int64(inserted) * hashEntryBytes)
+				inserted = 0
+				if e.stopRequested() {
+					break
+				}
 			}
 			if keyPart(k, nparts) == w {
 				m[k] = append(m[k], int32(j))
+				inserted++
 			}
 		}
+		e.charge(int64(inserted) * hashEntryBytes)
 		h.parts[w] = m
 	})
 	return h

@@ -38,6 +38,8 @@ import (
 	"errors"
 	"runtime"
 	"sync/atomic"
+
+	"mxq/internal/faults"
 )
 
 // Config sizes one Scheduler. The zero value of each field picks the
@@ -64,6 +66,16 @@ type Config struct {
 	// so small documents never justify a wide budget. 0 means
 	// DefaultRowsPerWorker.
 	RowsPerWorker int64
+	// MemPerQuery is the default per-execution memory budget in bytes;
+	// the Grant carries it next to the worker budget and the execution
+	// layer enforces it. 0 disables memory governance.
+	MemPerQuery int64
+	// MemTotal bounds the sum of running executions' memory
+	// reservations: an Admit that cannot reserve its per-query budget
+	// fails with ErrMemExhausted instead of overcommitting. Meaningful
+	// only with MemPerQuery > 0; 0 means unlimited (per-query budgets
+	// still apply).
+	MemTotal int64
 }
 
 // Defaults for the zero Config.
@@ -75,6 +87,22 @@ const (
 // ErrQueueFull is returned by Admit when MaxConcurrent executions are
 // running and MaxQueue admissions are already waiting.
 var ErrQueueFull = errors.New("sched: admission queue full")
+
+// ErrMemExhausted is returned by Admit when the global memory pool
+// (MemTotal) cannot cover another per-query reservation. It is
+// overload, not a defect: the same query is admitted once running
+// queries release their reservations.
+var ErrMemExhausted = errors.New("sched: memory pool exhausted")
+
+// Memory-grant sizing (see memFor): every execution is reserved at
+// least MemFloor, plus MemPerRow for each structural row of its
+// snapshot, clamped to MemPerQuery. The constants are deliberately
+// generous — the reservation is an admission-control estimate, the
+// byte-accurate enforcement happens in the execution layer.
+const (
+	MemFloor  = 8 << 20
+	MemPerRow = 4 << 10
+)
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -120,6 +148,10 @@ type Scheduler struct {
 	slotsFree     atomic.Int64 // worker slots not handed out
 	slotsInUse    atomic.Int64 // worker goroutines currently live
 	maxSlotsInUse atomic.Int64 // high-water mark of slotsInUse
+
+	memInUse    atomic.Int64 // sum of running grants' memory reservations
+	memHigh     atomic.Int64 // high-water mark of memInUse
+	memRejected atomic.Int64 // Admit calls failed with ErrMemExhausted
 }
 
 // New builds a scheduler from cfg (zero fields pick the defaults).
@@ -140,6 +172,9 @@ func (s *Scheduler) Workers() int { return s.cfg.Workers }
 // released promptly either way. The caller must Release the grant when
 // the execution completes or is abandoned.
 func (s *Scheduler) Admit(ctx context.Context, c Cost) (*Grant, error) {
+	if err := faults.SchedAdmit.Err(); err != nil {
+		return nil, err
+	}
 	select {
 	case s.execSem <- struct{}{}:
 	default:
@@ -161,7 +196,19 @@ func (s *Scheduler) Admit(ctx context.Context, c Cost) (*Grant, error) {
 			return nil, ctx.Err()
 		}
 	}
-	g := &Grant{s: s, budget: 1}
+	mem := s.cfg.MemPerQuery
+	if mem > 0 && c != (Cost{}) {
+		// plan hints are already known (engine-level admission): reserve
+		// the sized grant, not the full per-query default — SetCost below
+		// then has nothing left to shrink
+		mem = s.memFor(c)
+	}
+	if mem > 0 && !s.reserveMem(mem) {
+		s.drainSlot()
+		s.memRejected.Add(1)
+		return nil, ErrMemExhausted
+	}
+	g := &Grant{s: s, budget: 1, mem: mem}
 	s.admitted.Add(1)
 	s.running.Add(1)
 	s.grantedBudget.Add(1)
@@ -169,6 +216,57 @@ func (s *Scheduler) Admit(ctx context.Context, c Cost) (*Grant, error) {
 		g.SetCost(c)
 	}
 	return g, nil
+}
+
+// drainSlot returns one execution slot the caller provably holds in the
+// buffered execSem.
+//
+// waitcheck:exempt the receive drains a slot the caller just acquired,
+// so it cannot block.
+func (s *Scheduler) drainSlot() { <-s.execSem }
+
+// reserveMem reserves n bytes of the global memory pool, or reports
+// false when MemTotal cannot cover it. A scheduler without MemTotal
+// always succeeds (per-query budgets still apply).
+func (s *Scheduler) reserveMem(n int64) bool {
+	if s.cfg.MemTotal <= 0 {
+		return true
+	}
+	for {
+		used := s.memInUse.Load()
+		if used+n > s.cfg.MemTotal {
+			return false
+		}
+		if s.memInUse.CompareAndSwap(used, used+n) {
+			for {
+				hw := s.memHigh.Load()
+				if used+n <= hw || s.memHigh.CompareAndSwap(hw, used+n) {
+					break
+				}
+			}
+			return true
+		}
+	}
+}
+
+// returnMem gives n reserved bytes back to the global pool.
+func (s *Scheduler) returnMem(n int64) {
+	if s.cfg.MemTotal > 0 && n > 0 {
+		s.memInUse.Add(-n)
+	}
+}
+
+// memFor sizes an execution's memory grant from its plan cost hints:
+// a bookkeeping floor plus a per-snapshot-row allowance, clamped to
+// MemPerQuery. SetCost only ever shrinks the initial MemPerQuery
+// reservation toward this value — growing would let a reservation the
+// global pool never covered slip through admission.
+func (s *Scheduler) memFor(c Cost) int64 {
+	m := MemFloor + MemPerRow*c.Rows
+	if m > s.cfg.MemPerQuery {
+		m = s.cfg.MemPerQuery
+	}
+	return m
 }
 
 // budgetFor derives a worker budget from cost hints: the plan's
@@ -202,6 +300,11 @@ type Stats struct {
 	GrantedBudget int64 // sum of running executions' worker budgets
 	SlotsInUse    int64 // worker goroutines currently drawing on the pool
 	MaxSlotsInUse int64 // high-water mark of SlotsInUse
+	MemPerQuery   int64 // configured per-execution memory budget (bytes)
+	MemTotal      int64 // configured global memory pool (bytes)
+	MemInUse      int64 // sum of running executions' memory reservations
+	MemHighWater  int64 // high-water mark of MemInUse
+	MemRejected   int64 // admissions rejected with ErrMemExhausted
 }
 
 // Stats returns a snapshot of the scheduler's counters.
@@ -217,6 +320,11 @@ func (s *Scheduler) Stats() Stats {
 		GrantedBudget: s.grantedBudget.Load(),
 		SlotsInUse:    s.slotsInUse.Load(),
 		MaxSlotsInUse: s.maxSlotsInUse.Load(),
+		MemPerQuery:   s.cfg.MemPerQuery,
+		MemTotal:      s.cfg.MemTotal,
+		MemInUse:      s.memInUse.Load(),
+		MemHighWater:  s.memHigh.Load(),
+		MemRejected:   s.memRejected.Load(),
 	}
 }
 
@@ -265,6 +373,7 @@ func (s *Scheduler) releaseSlots(n int) {
 type Grant struct {
 	s        *Scheduler
 	budget   int
+	mem      int64
 	costSet  atomic.Bool
 	released atomic.Bool
 }
@@ -279,10 +388,21 @@ func (g *Grant) SetCost(c Cost) {
 	b := g.s.budgetFor(c)
 	g.s.grantedBudget.Add(int64(b - g.budget))
 	g.budget = b
+	if g.mem > 0 {
+		if m := g.s.memFor(c); m < g.mem {
+			g.s.returnMem(g.mem - m)
+			g.mem = m
+		}
+	}
 }
 
 // Budget returns the execution's worker budget (≥ 1).
 func (g *Grant) Budget() int { return g.budget }
+
+// MemLimit returns the execution's memory budget in bytes (0 =
+// unlimited): the scheduler's per-query default, possibly shrunk by
+// SetCost's plan-hint sizing.
+func (g *Grant) MemLimit() int64 { return g.mem }
 
 // Release returns the execution slot. It is idempotent, so it is safe
 // to both defer and call explicitly.
@@ -295,7 +415,14 @@ func (g *Grant) Release() {
 	}
 	g.s.grantedBudget.Add(-int64(g.budget))
 	g.s.running.Add(-1)
+	g.s.returnMem(g.mem)
 	<-g.s.execSem
+	// fault point deliberately after all bookkeeping: an injected panic
+	// here must be contained by the caller without wedging the
+	// scheduler (the slot and reservation are already returned)
+	if err := faults.SchedRelease.Err(); err != nil {
+		panic(err)
+	}
 }
 
 // AcquireSlots draws up to want worker slots from the shared pool

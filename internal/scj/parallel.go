@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mxq/internal/faults"
 	"mxq/internal/store"
 )
 
@@ -66,6 +67,11 @@ func ParRun(workers, n int, f func(int)) { ParRunSlots(nil, workers, n, f) }
 // acquired from sl (spawned freely when sl is nil). Chunks are handed
 // out through an atomic cursor, so every index runs exactly once; as
 // in ParRun, callers must make f(i) write only chunk-i state.
+//
+// A panic on a worker goroutine is captured and re-raised on the
+// calling goroutine after every worker has drained, so the execution
+// boundary's recover contains it like any caller-side panic — a worker
+// must never be able to kill the process or leak its siblings.
 func ParRunSlots(sl Slots, workers, n int, f func(int)) {
 	if n <= 1 {
 		if n == 1 {
@@ -97,16 +103,32 @@ func ParRunSlots(sl Slots, workers, n int, f func(int)) {
 			f(i)
 		}
 	}
+	var panicOnce sync.Once
+	var panicVal any
 	var wg sync.WaitGroup
 	for w := 0; w < extra; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			// workers have no error return path, so an injected fork
+			// fault surfaces as a worker panic — exercising exactly the
+			// containment above
+			if err := faults.SCJFork.Err(); err != nil {
+				panic(err)
+			}
 			work()
 		}()
 	}
 	work()
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // splitPairsByPre cuts ctx into at most chunks contiguous sub-relations,
@@ -225,6 +247,7 @@ func parByContext(sl Slots, c *store.Container, ctx Pairs, axis Axis, test Test,
 	}
 	ParRunSlots(sl, workers, len(chunks), func(k int) {
 		outs[k] = Step(c, chunks[k], axis, test, v, &stats[k])
+		st.charge(8 * int64(outs[k].Len())) // context-chunk output pairs
 	})
 	for k := range stats {
 		st.Touched += stats[k].Touched
@@ -284,6 +307,7 @@ func parCandDescendant(sl Slots, c *store.Container, ctx Pairs, cand []int32, wo
 		lo := len(cand) * k / chunks
 		hi := len(cand) * (k + 1) / chunks
 		candDescendant(c, ctx, cand[lo:hi], &outs[k], &stats[k])
+		st.charge(8 * int64(outs[k].Len()))
 	})
 	for k := range stats {
 		st.Touched += stats[k].Touched
@@ -312,6 +336,7 @@ func parScanDescendant(sl Slots, c *store.Container, ctx Pairs, match func(int32
 		rlo := lo + int32(span*k/chunks)
 		rhi := lo + int32(span*(k+1)/chunks)
 		scanDescendantRange(c, ctx, match, rlo, rhi, &outs[k], &stats[k])
+		st.charge(8 * int64(outs[k].Len()))
 	})
 	for k := range stats {
 		st.Touched += stats[k].Touched

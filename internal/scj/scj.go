@@ -178,10 +178,24 @@ type Stats struct {
 	// truncated output is discarded by the caller. Nil (the default)
 	// keeps the sweeps poll-free.
 	Stop func() bool
+
+	// Charge, when non-nil, accounts n bytes of materialized pairs
+	// against the execution's memory budget (the parallel drivers call
+	// it as each context chunk completes). It must be safe for
+	// concurrent use; an exhausted budget reports through Stop, so the
+	// sweeps need no extra branch. Nil disables accounting.
+	Charge func(n int64) bool
 }
 
 // stopped reports whether a cancellation hook is installed and has fired.
 func (st *Stats) stopped() bool { return st.Stop != nil && st.Stop() }
+
+// charge accounts n bytes when an accounting hook is installed.
+func (st *Stats) charge(n int64) {
+	if st.Charge != nil {
+		st.Charge(n)
+	}
+}
 
 // Variant selects the execution strategy of a step.
 type Variant uint8

@@ -60,6 +60,7 @@ type metrics struct {
 	timeouts          atomic.Int64 // executions cancelled by deadline/disconnect
 	compileErrors     atomic.Int64 // prepare/one-shot compile failures
 	rejected          atomic.Int64 // admissions rejected (queue full or expired while queued)
+	memRejected       atomic.Int64 // admissions rejected by the scheduler memory pool
 	inflight          atomic.Int64 // currently admitted requests
 	serializeFailures atomic.Int64 // result streams that failed mid-write
 	stmtsEvicted      atomic.Int64 // prepared statements evicted (TTL or LRU overflow)
@@ -107,6 +108,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE mxqd_sched_slots_in_use gauge\nmxqd_sched_slots_in_use %d\n", st.SlotsInUse)
 	fmt.Fprintf(w, "# TYPE mxqd_sched_slots_in_use_max gauge\nmxqd_sched_slots_in_use_max %d\n", st.MaxSlotsInUse)
 	fmt.Fprintf(w, "# TYPE mxqd_sched_budget_granted gauge\nmxqd_sched_budget_granted %d\n", st.GrantedBudget)
+	fmt.Fprintf(w, "# TYPE mxqd_mem_rejected_total counter\nmxqd_mem_rejected_total %d\n", m.memRejected.Load())
+	fmt.Fprintf(w, "# TYPE mxqd_mem_per_query_bytes gauge\nmxqd_mem_per_query_bytes %d\n", st.MemPerQuery)
+	fmt.Fprintf(w, "# TYPE mxqd_mem_total_bytes gauge\nmxqd_mem_total_bytes %d\n", st.MemTotal)
+	fmt.Fprintf(w, "# TYPE mxqd_mem_inuse_bytes gauge\nmxqd_mem_inuse_bytes %d\n", st.MemInUse)
+	fmt.Fprintf(w, "# TYPE mxqd_mem_highwater_bytes gauge\nmxqd_mem_highwater_bytes %d\n", st.MemHighWater)
 	m.latency.write(w, "mxqd_query_seconds")
 	m.queueWait.write(w, "mxqd_queue_wait_seconds")
 }

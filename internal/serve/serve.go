@@ -16,7 +16,9 @@
 // its operator checkpoints; the fork-join worker pool guarantees no
 // goroutine outlives its request. Static query errors (parse errors
 // and the XPST/XQST classes) map to 400, dynamic errors to 500,
-// deadline expiry to 504.
+// deadline expiry to 504, and resource exhaustion — a query exceeding
+// its memory budget, or the scheduler's memory pool refusing another
+// admission — to 503 (overload, not a defect of the query).
 //
 // Admission is scheduled, not shed at the door: every request —
 // including its compile work — first admits itself with the engine's
@@ -42,6 +44,7 @@ import (
 	"time"
 
 	"mxq"
+	"mxq/internal/faults"
 	"mxq/internal/sched"
 )
 
@@ -212,12 +215,17 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // execStatus maps an execution error to its HTTP status: deadline and
-// cancellation map to 504, static query errors to 400 (the query can
+// cancellation map to 504, a memory-budget overrun to 503 (the same
+// query may succeed under a larger budget or a quieter server — it is
+// overload, not a defect), static query errors to 400 (the query can
 // never run), everything else — dynamic errors, contained internal
 // panics — to 500.
 func execStatus(err error) int {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return http.StatusGatewayTimeout
+	}
+	if mxq.IsResourceLimit(err) {
+		return http.StatusServiceUnavailable
 	}
 	if qe := mxq.AsQueryError(err); qe != nil && qe.Static() {
 		return http.StatusBadRequest
@@ -263,9 +271,13 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (*sched.Grant
 	s.metrics.queueWait.observe(time.Since(start))
 	if err != nil {
 		s.metrics.rejected.Add(1)
-		if errors.Is(err, sched.ErrQueueFull) {
+		switch {
+		case errors.Is(err, sched.ErrQueueFull):
 			writeError(w, http.StatusServiceUnavailable, errors.New("too many queries in flight"))
-		} else {
+		case errors.Is(err, sched.ErrMemExhausted):
+			s.metrics.memRejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable, errors.New("server memory pool exhausted; retry when running queries finish"))
+		default:
 			writeError(w, http.StatusServiceUnavailable, errors.New("no execution slot within the request deadline"))
 		}
 		return nil, false
@@ -295,7 +307,7 @@ func (s *Server) run(ctx context.Context, w http.ResponseWriter, stmt *mxq.Stmt)
 	// The result streams from here; a serialization failure usually
 	// means the client went away — nothing useful can be written
 	// anymore, but the failure is counted.
-	serr := res.SerializeXML(w)
+	serr := res.SerializeXML(faultWriter{w})
 	s.metrics.observe(time.Since(start), nil)
 	if serr != nil {
 		s.metrics.serializeFailures.Add(1)
@@ -476,6 +488,19 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// faultWriter is the serve.stream fault point: when the fault registry
+// arms serve.stream, response-body writes fail with the injected error
+// — the chaos suite's stand-in for a client that vanishes mid-stream.
+// A no-op passthrough when faults are disarmed.
+type faultWriter struct{ w io.Writer }
+
+func (f faultWriter) Write(p []byte) (int, error) {
+	if err := faults.ServeStream.Err(); err != nil {
+		return 0, err
+	}
+	return f.w.Write(p)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

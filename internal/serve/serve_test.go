@@ -7,13 +7,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"mxq"
+	"mxq/internal/testutil"
 	"mxq/internal/xmark"
 )
 
@@ -198,8 +198,8 @@ func TestServerErrorMapping(t *testing.T) {
 const slowQuery = `sum(for $i in 1 to 2000 return sum(for $j in 1 to 2000 return $i * $j))`
 
 func TestServerQueryTimeout(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ts, _ := newTestServer(t, Config{}, mxq.WithWorkers(4), mxq.WithParallelThreshold(1))
-	before := runtime.NumGoroutine()
 	start := time.Now()
 	resp, body := postJSON(t, ts.URL+"/query",
 		map[string]any{"query": slowQuery, "timeout_ms": 50})
@@ -219,14 +219,8 @@ func TestServerQueryTimeout(t *testing.T) {
 	if hresp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz after timeout: %d", hresp.StatusCode)
 	}
-	// and the cancelled execution's workers must have drained
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before+2 { // allow keep-alive conns
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines: %d before, %d after timeout", before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	// the cancelled execution's workers drain; testutil.CheckGoroutines
+	// asserts it at cleanup, after the test server closes its conns
 }
 
 // TestServerConcurrentSessions hammers one server with N clients × M

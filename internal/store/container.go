@@ -17,6 +17,8 @@ package store
 import (
 	"fmt"
 	"sort"
+
+	"mxq/internal/faults"
 )
 
 // NodeKind is the node-kind property of a pre|size|level row.
@@ -425,6 +427,11 @@ func (p *Pool) Rows() int64 {
 // containers registered later — per-query transients, concurrently
 // loaded documents — never show up in, or renumber, existing snapshots.
 func (p *Pool) Snapshot() *Pool {
+	// fault point: a snapshot-time failure (e.g. allocation) must be
+	// contained by the execution boundary, never corrupt the source pool
+	if err := faults.StoreSnapshot.Err(); err != nil {
+		panic(err)
+	}
 	q := &Pool{
 		containers:  append([]*Container(nil), p.containers...),
 		byName:      make(map[string]*Container, len(p.byName)),

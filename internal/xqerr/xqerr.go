@@ -8,7 +8,18 @@
 // conformance suites compare.
 package xqerr
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// CodeResourceLimit is the W3C code for "implementation-defined
+// resource limit exceeded" — the dynamic error a query gets when it
+// runs past its memory budget or an intermediate-result cap. It is a
+// dynamic (XPDY) code on purpose: the same query may succeed under a
+// larger budget, so servers must treat it as per-execution overload
+// (503), not as a defect in the query (400) or the engine (500).
+const CodeResourceLimit = "XPDY0130"
 
 // Error is a typed XQuery error. The zero Code means "no W3C code"; the
 // minting sites always set one.
@@ -34,4 +45,11 @@ func (e *Error) Static() bool {
 // Newf mints a typed XQuery error with the given W3C code.
 func Newf(code, format string, args ...any) error {
 	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// IsResourceLimit reports whether err is (or wraps) the typed
+// resource-exhausted error.
+func IsResourceLimit(err error) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == CodeResourceLimit
 }

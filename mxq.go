@@ -150,6 +150,12 @@ type SchedulerStats = sched.Stats
 // serving layer maps to 503.
 var ErrQueueFull = sched.ErrQueueFull
 
+// ErrMemExhausted is returned by a scheduled execution when the
+// scheduler's global memory pool (SchedulerConfig.MemTotal) cannot
+// cover another per-query reservation — like ErrQueueFull, an overload
+// signal, not a defect of the query.
+var ErrMemExhausted = sched.ErrMemExhausted
+
 // NewScheduler builds a global query scheduler.
 func NewScheduler(cfg SchedulerConfig) *Scheduler { return sched.New(cfg) }
 
@@ -161,6 +167,17 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler { return sched.New(cfg) }
 // scheduler still gets admission control, just with budget 1.
 func WithScheduler(s *Scheduler) Option {
 	return func(c *core.Config) { c.Scheduler = s }
+}
+
+// WithMemLimit sets the per-query memory budget in bytes (0, the
+// default, means unlimited): operators charge estimated bytes as they
+// materialize rows — at the same amortized checkpoints as cancellation
+// polls — and an over-budget query aborts promptly with a typed
+// resource-exhausted QueryError (code XPDY0130, see IsResourceLimit),
+// never a partial result. Under a scheduler whose grants carry their
+// own memory limits, the smaller nonzero limit governs each execution.
+func WithMemLimit(bytes int64) Option {
+	return func(c *core.Config) { c.MemLimit = bytes }
 }
 
 // WithVerifyPlans runs the static plan verifier over every compiled
