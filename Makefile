@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check check-ci fmt vet build test race race-cover bench bench-smoke serve-smoke fuzz-short chaos-smoke cover lint mxqlint verify
+.PHONY: check check-ci fmt vet build test race race-cover bench bench-smoke serve-smoke fuzz-short chaos-smoke cover lint mxqlint verify optcheck
 
 # check is the CI gate: formatting, vet, build, and the full test suite
 # under the race detector (the parallel executor must stay race-clean).
@@ -20,8 +20,8 @@ lint: fmt vet mxqlint
 		echo "govulncheck not installed; skipping"; \
 	fi
 
-# mxqlint runs the project-specific analyzers (cancelcheck,
-# xqerrcheck, adoptcheck) over the whole module.
+# mxqlint runs the project-specific analyzers (docs/static-analysis.md)
+# over the whole module.
 mxqlint:
 	$(GO) run ./cmd/mxqlint .
 
@@ -30,6 +30,15 @@ mxqlint:
 # before it executes.
 verify:
 	MXQ_VERIFY_PLANS=1 $(GO) test ./...
+
+# optcheck runs the optimizer translation-validation corpus (every
+# rewrite the 20 XMark + 500 generated queries fire, checked for
+# semantic equivalence on synthesized micro-inputs) plus the
+# rule-coverage floor — see docs/optimizer.md. MXQ_FUZZ_SEED adds an
+# extra synthesis seed (CI passes the workflow run id); re-run with the
+# seed an unsound-rewrite report prints to replay it exactly.
+optcheck:
+	MXQ_CHECK_REWRITES=1 MXQ_FUZZ_SEED=$(MXQ_FUZZ_SEED) $(GO) test -run 'TestCorpusRewritesSound|TestRuleCoverageFloor' -count=1 -v ./internal/optcheck/
 
 fmt:
 	@unformatted=$$(gofmt -l .); \

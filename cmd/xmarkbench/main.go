@@ -27,6 +27,12 @@
 // MXQ is this reproduction's relational engine; NAIVE is the DOM
 // interpreter standing in for the paper's non-relational comparators
 // (eXist/Galax/X-Hive/BDB — see DESIGN.md for the substitution).
+//
+// All experiments run with rewrite tracing off (the default): the
+// optimizer's translation-validation hook costs one nil check per
+// rewrite site when disabled (opt.OptimizeTraced with a nil trace is
+// exactly opt.Optimize), so these numbers are unaffected by the
+// optcheck layer — see docs/optimizer.md.
 package main
 
 import (

@@ -85,6 +85,7 @@ func main() {
 		xmarkF   = flag.Float64("xmark", 0, "generate an XMark document at this scale factor instead of loading one")
 		seed     = flag.Int64("seed", 42, "XMark generator seed")
 		explain  = flag.Bool("explain", false, "print plan statistics instead of running the query")
+		rewrites = flag.Bool("rewrite-coverage", false, "print which optimizer rewrite rules fired on the query instead of running it")
 		noJoin   = flag.Bool("no-joinrec", false, "disable join recognition")
 		noOrder  = flag.Bool("no-order", false, "disable the order-aware peephole optimizer")
 		noLifted = flag.Bool("no-looplift", false, "use per-iteration staircase joins")
@@ -145,6 +146,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *rewrites {
+		report, err := db.RewriteCoverage(query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+		return
+	}
 	if *explain {
 		ops, joins, err := db.PlanStats(query)
 		if err != nil {

@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"mxq/internal/opt"
+	"mxq/internal/optcheck"
 	"mxq/internal/planck"
 	"mxq/internal/ralg"
 	"mxq/internal/sched"
@@ -98,6 +99,15 @@ type Config struct {
 	// fuzzer keep it always on; production keeps it opt-in (also via the
 	// MXQ_VERIFY_PLANS environment variable, see New).
 	VerifyPlans bool
+	// TraceRewrites validates every optimizer rewrite during
+	// compilation: each fired rule emits a before/after witness
+	// (opt.RewriteStep) that the translation validator
+	// (internal/optcheck) replays over synthesized micro-inputs, and a
+	// disagreement fails compilation naming the guilty rule. Much more
+	// expensive than VerifyPlans — meant for tests and CI, not
+	// production (also via the MXQ_CHECK_REWRITES environment variable,
+	// see New). Off, the tracing hook costs one nil check per rewrite.
+	TraceRewrites bool
 }
 
 // DefaultConfig is the full-strength engine configuration (parallel
@@ -136,10 +146,14 @@ type Engine struct {
 // MXQ_VERIFY_PLANS environment variable to a non-empty value other
 // than "0" force-enables Config.VerifyPlans — the hook CI uses to plan-
 // verify every query of the full test suite without threading a knob
-// through each test helper.
+// through each test helper. MXQ_CHECK_REWRITES does the same for
+// Config.TraceRewrites, translation-validating every optimizer rewrite.
 func New(cfg Config) *Engine {
 	if v := os.Getenv("MXQ_VERIFY_PLANS"); v != "" && v != "0" {
 		cfg.VerifyPlans = true
+	}
+	if v := os.Getenv("MXQ_CHECK_REWRITES"); v != "" && v != "0" {
+		cfg.TraceRewrites = true
 	}
 	e := &Engine{cfg: cfg, pool: store.NewPool(), optsKey: optionsKey(cfg)}
 	if cfg.PlanCache {
@@ -349,11 +363,8 @@ func (e *Engine) compile(q string) (*xqc.Compiled, error) {
 		}
 	}
 	if e.cfg.OrderAware {
-		cq.Plan = opt.Optimize(cq.Plan)
-		for i := range cq.Params {
-			if cq.Params[i].Init != nil {
-				cq.Params[i].Init = opt.Optimize(cq.Params[i].Init)
-			}
+		if err := e.optimizeCompiled(cq, q); err != nil {
+			return nil, err
 		}
 		if e.cfg.VerifyPlans {
 			if err := verifyCompiled(cq); err != nil {
@@ -365,6 +376,68 @@ func (e *Engine) compile(q string) (*xqc.Compiled, error) {
 		e.cache.put(key, cq)
 	}
 	return cq, nil
+}
+
+// optimizeCompiled runs the peephole optimizer over every parameter
+// initializer and the main plan. With TraceRewrites set, each
+// optimization collects its rewrite witnesses and the translation
+// validator replays them over synthesized inputs — an unsound rewrite
+// fails the compilation, attributed to the plan it fired in (parameter
+// initializers are covered exactly like the main plan).
+func (e *Engine) optimizeCompiled(cq *xqc.Compiled, q string) error {
+	if !e.cfg.TraceRewrites {
+		cq.Plan = opt.Optimize(cq.Plan)
+		for i := range cq.Params {
+			if cq.Params[i].Init != nil {
+				cq.Params[i].Init = opt.Optimize(cq.Params[i].Init)
+			}
+		}
+		return nil
+	}
+	checkOpts := optcheck.DefaultOptions()
+	for i := range cq.Params {
+		if cq.Params[i].Init == nil {
+			continue
+		}
+		var steps []opt.RewriteStep
+		cq.Params[i].Init = opt.OptimizeTraced(cq.Params[i].Init, func(s opt.RewriteStep) { steps = append(steps, s) })
+		if err := optcheck.ValidateSteps(steps, checkOpts); err != nil {
+			return fmt.Errorf("core: unsound rewrite in the initializer of $%s for %q: %w", cq.Params[i].Name, q, err)
+		}
+	}
+	var steps []opt.RewriteStep
+	cq.Plan = opt.OptimizeTraced(cq.Plan, func(s opt.RewriteStep) { steps = append(steps, s) })
+	if err := optcheck.ValidateSteps(steps, checkOpts); err != nil {
+		return fmt.Errorf("core: unsound rewrite for %q: %w", q, err)
+	}
+	return nil
+}
+
+// RewriteSteps compiles q afresh (bypassing the plan cache, which only
+// holds optimized plans) and returns the optimizer's rewrite witnesses
+// for every parameter initializer and the main plan, in firing order.
+// Nil without error when the engine is not order-aware.
+func (e *Engine) RewriteSteps(q string) ([]opt.RewriteStep, error) {
+	if !e.cfg.OrderAware {
+		return nil, nil
+	}
+	m, err := xqp.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := xqc.Compile(m, e.cfg.Compiler)
+	if err != nil {
+		return nil, err
+	}
+	var steps []opt.RewriteStep
+	trace := func(s opt.RewriteStep) { steps = append(steps, s) }
+	for i := range cq.Params {
+		if cq.Params[i].Init != nil {
+			cq.Params[i].Init = opt.OptimizeTraced(cq.Params[i].Init, trace)
+		}
+	}
+	cq.Plan = opt.OptimizeTraced(cq.Plan, trace)
+	return steps, nil
 }
 
 // verifyCompiled runs the static plan verifier over the main plan and

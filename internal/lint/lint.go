@@ -57,7 +57,7 @@ type Analyzer struct {
 
 // All returns every analyzer mxqlint ships, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{CancelCheck, AllocCheck, WaitCheck, XQErrCheck, AdoptCheck}
+	return []*Analyzer{CancelCheck, AllocCheck, WaitCheck, XQErrCheck, AdoptCheck, RuleCheck}
 }
 
 // LoadDir parses every .go file directly inside dir into one Package.

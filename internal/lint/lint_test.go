@@ -39,6 +39,10 @@ func TestAdoptCheckFixtures(t *testing.T) {
 	runFixture(t, AdoptCheck, "testdata/adoptcheck")
 }
 
+func TestRuleCheckFixtures(t *testing.T) {
+	runFixture(t, RuleCheck, "testdata/rulecheck/opt")
+}
+
 // The analyzers only gate on package names, so a package they do not
 // know stays silent.
 func TestAnalyzersSkipForeignPackages(t *testing.T) {
@@ -46,7 +50,7 @@ func TestAnalyzersSkipForeignPackages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, a := range []*Analyzer{CancelCheck, WaitCheck, AdoptCheck} {
+	for _, a := range []*Analyzer{CancelCheck, WaitCheck, AdoptCheck, RuleCheck} {
 		if ds := a.Run(p); len(ds) != 0 {
 			t.Errorf("%s fired on package %q: %v", a.Name, p.Name, ds)
 		}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RuleCheck enforces the optimizer's rewrite-attribution contract:
+// every case of opt's rewriteNode type switch must report its plan
+// mutations through the fired rewrite hook (which names the rule and
+// emits the translation-validation witness, see internal/optcheck). A
+// rewrite added without firing would be invisible to rule coverage and
+// — worse — exempt from per-step validation.
+//
+// A case that genuinely performs no semantic rewrite may opt out with
+// an explanatory annotation inside the case body:
+//
+//	// rulecheck:exempt <reason>
+//
+// The reason is mandatory; a bare marker still fires.
+var RuleCheck = &Analyzer{
+	Name: "rulecheck",
+	Doc:  "optimizer rewriteNode cases must attribute mutations via the fired hook or carry a rulecheck:exempt annotation",
+	Run:  runRuleCheck,
+}
+
+func runRuleCheck(p *Package) []Diagnostic {
+	if p.Name != "opt" {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "rewriteNode" || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, checkRewriteCases(p, f, fd)...)
+		}
+	}
+	return diags
+}
+
+// checkRewriteCases walks the type-switch cases of one rewriteNode
+// body. Only type switches count — the per-operator dispatch is a type
+// switch, while nested expression switches choose among already-
+// attributed strategies (e.g. the fallback rank mode). The default
+// clause (no rewrite possible: unknown operator) is always exempt.
+func checkRewriteCases(p *Package, f *ast.File, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range ts.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok || cc.List == nil {
+				continue
+			}
+			if callsFired(cc) || caseExempt(f, cc) {
+				continue
+			}
+			diags = append(diags, p.diag("rulecheck", cc,
+				"rewriteNode case %s never calls the fired rewrite hook; register the rule and fire it or annotate // rulecheck:exempt <reason>",
+				caseLabel(cc)))
+		}
+		return true
+	})
+	return diags
+}
+
+// callsFired reports whether the case body contains a call to the
+// fired hook (o.fired(...) or fired(...)).
+func callsFired(cc *ast.CaseClause) bool {
+	found := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fn := call.Fun.(type) {
+			case *ast.Ident:
+				found = found || fn.Name == "fired"
+			case *ast.SelectorExpr:
+				found = found || fn.Sel.Name == "fired"
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// caseExempt reports whether a rulecheck:exempt annotation with a
+// non-empty reason appears within the case clause's source range.
+// exemptReason only reads doc comments; case clauses have none, so
+// the file's comment list is scanned positionally instead.
+func caseExempt(f *ast.File, cc *ast.CaseClause) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() < cc.Pos() || cg.End() > cc.End() {
+			continue
+		}
+		if _, ok := exemptReason(cg, "rulecheck:exempt"); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// caseLabel renders the case's first type expression for the message.
+func caseLabel(cc *ast.CaseClause) string {
+	parts := make([]string, 0, len(cc.List))
+	for _, e := range cc.List {
+		parts = append(parts, types.ExprString(e))
+	}
+	return strings.Join(parts, ", ")
+}

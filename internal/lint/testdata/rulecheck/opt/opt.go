@@ -1,0 +1,50 @@
+package opt
+
+type optimizer struct{}
+
+func (o *optimizer) snap(n any) (any, any)            { return nil, nil }
+func (o *optimizer) fired(rule, before, c, after any) {}
+
+func (o *optimizer) rewriteNode(p any) any {
+	switch n := p.(type) {
+	case *sortOp:
+		// rewrites attributed through the hook: compliant
+		if n.covered() {
+			before, c := o.snap(n)
+			o.fired("sort.drop", before, c, n)
+			return n
+		}
+		return n
+	case *joinOp:
+		// rulecheck:exempt annotation-only bookkeeping, no plan mutation
+		n.touch()
+		return n
+	case *distinctOp: // want "rewriteNode case .distinctOp never calls the fired rewrite hook"
+		n.mutate()
+		return n
+	case *rankOp: // want "rewriteNode case .rankOp never calls the fired rewrite hook"
+		// rulecheck:exempt
+		n.mutate()
+		return n
+	default:
+		return p
+	}
+}
+
+// rewriteNode on another receiver is held to the same contract.
+func (o *other) rewriteNode(p any) any {
+	switch p.(type) {
+	case *crossOp, *unionOp: // want "rewriteNode case .crossOp, .unionOp never calls the fired rewrite hook"
+		return nil
+	}
+	return p
+}
+
+// helper is not named rewriteNode: its switch is out of scope.
+func (o *optimizer) classify(p any) int {
+	switch p.(type) {
+	case *sortOp:
+		return 1
+	}
+	return 0
+}

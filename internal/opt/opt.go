@@ -124,16 +124,15 @@ func (p *props) grpCovered(cols []string, g string) bool {
 // Optimize rewrites the plan DAG in place (returning the possibly new
 // root). The pass is linear in the number of operators.
 func Optimize(p ralg.Plan) ralg.Plan {
-	o := &optimizer{
-		done:  map[ralg.Plan]ralg.Plan{},
-		props: map[ralg.Plan]*props{},
-	}
-	return o.rewrite(p)
+	return OptimizeTraced(p, nil)
 }
 
 type optimizer struct {
 	done  map[ralg.Plan]ralg.Plan
 	props map[ralg.Plan]*props
+	// trace receives one RewriteStep per fired rule (see OptimizeTraced);
+	// nil disables witness capture entirely.
+	trace func(RewriteStep)
 }
 
 func (o *optimizer) rewrite(p ralg.Plan) ralg.Plan {
@@ -172,14 +171,22 @@ func (o *optimizer) rewriteNode(p ralg.Plan) ralg.Plan {
 			}
 		}
 		if in.covers(n.By) {
+			before, c := o.snap(n)
+			o.fired(RuleSortDropCovered, before, c, n.In)
 			return n.In // sort already satisfied: drop it
 		}
 		// stable one-column sort under grpord: sorted groups interleave
 		if len(n.By) == 2 && n.Desc == nil && in.grpCovered(n.By[1:], n.By[0]) {
+			before, c := o.snap(n)
 			n.By = n.By[:1]
+			o.fired(RuleSortStableOneCol, before, c, n)
 			return n
 		}
-		n.RefinePrefix = in.sortedPrefix(n.By)
+		if pfx := in.sortedPrefix(n.By); pfx > 0 {
+			before, c := o.snap(n)
+			n.RefinePrefix = pfx
+			o.fired(RuleSortRefinePrefix, before, c, n)
+		}
 		return n
 	case *ralg.RowNum:
 		in := o.in(n, 0)
@@ -195,9 +202,13 @@ func (o *optimizer) rewriteNode(p ralg.Plan) ralg.Plan {
 		case hasDesc:
 			n.Mode = ralg.RankSort
 		case in.covers(full):
+			before, c := o.snap(n)
 			n.Mode = ralg.RankSeq
+			o.fired(RuleRankSeq, before, c, n)
 		case n.Part != "" && in.grpCovered(n.OrderBy, n.Part):
+			before, c := o.snap(n)
 			n.Mode = ralg.RankStream
+			o.fired(RuleRankStream, before, c, n)
 		default:
 			n.Mode = ralg.RankSort
 		}
@@ -206,18 +217,24 @@ func (o *optimizer) rewriteNode(p ralg.Plan) ralg.Plan {
 		lp, rp := o.in(n, 0), o.in(n, 1)
 		switch {
 		case rp.dense[n.RKey]:
+			before, c := o.snap(n)
 			n.Pos = true
+			o.fired(RuleJoinPosRight, before, c, n)
 		case lp.dense[n.LKey] && lp.key[n.LKey] && rp.covers([]string{n.RKey}):
 			// positional probe into the dense left key: equivalent to
 			// the left-major hash join because left keys are unique and
 			// the right input is key-sorted
+			before, c := o.snap(n)
 			n.PosLeft = true
+			o.fired(RuleJoinPosLeft, before, c, n)
 		}
 		return n
 	case *ralg.Distinct:
 		in := o.in(n, 0)
 		if in.covers(n.By) {
+			before, c := o.snap(n)
 			n.Merge = true
+			o.fired(RuleDistinctMerge, before, c, n)
 		}
 		return n
 	}
@@ -230,6 +247,25 @@ func (o *optimizer) infer(p ralg.Plan) *props {
 	switch n := p.(type) {
 	case *ralg.Lit:
 		litProps(n.Tab, pr)
+	case *ralg.LitDecl:
+		// declared properties merge with what the table data shows
+		// directly; planck verifies each declaration against the rows
+		litProps(n.Tab, pr)
+		for _, ord := range n.Ords {
+			pr.ords = append(pr.ords, ord)
+		}
+		for _, g := range n.Grps {
+			pr.grps = append(pr.grps, grpOrd{cols: g.Cols, g: g.Group})
+		}
+		for _, c := range n.Dense {
+			pr.dense[c] = true
+		}
+		for _, c := range n.Key {
+			pr.key[c] = true
+		}
+		for _, c := range n.Const {
+			pr.cnst[c] = true
+		}
 	case *ralg.DocRoot:
 		pr.key["pos"] = true
 		pr.cnst["pos"] = true

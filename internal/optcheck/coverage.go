@@ -1,0 +1,77 @@
+package optcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mxq/internal/opt"
+)
+
+// Coverage counts rule firings across rewrite traces. A registered
+// rule that never fires on the test corpus is a test gap: either the
+// corpus lacks a query exercising the rule, or the rule's guard is
+// unsatisfiable — both findings, not noise.
+type Coverage struct {
+	counts map[opt.Rule]int
+}
+
+// NewCoverage returns an empty coverage accumulator.
+func NewCoverage() *Coverage {
+	return &Coverage{counts: map[opt.Rule]int{}}
+}
+
+// Add accumulates one trace.
+func (c *Coverage) Add(steps []opt.RewriteStep) {
+	for _, s := range steps {
+		c.counts[s.Rule]++
+	}
+}
+
+// Count returns the accumulated firings of rule r.
+func (c *Coverage) Count(r opt.Rule) int { return c.counts[r] }
+
+// Unfired returns the registered rules with zero firings, minus the
+// exempt set, in registry order.
+func (c *Coverage) Unfired(exempt map[opt.Rule]string) []opt.Rule {
+	var out []opt.Rule
+	for _, ri := range opt.Rules() {
+		if c.counts[ri.Rule] == 0 && exempt[ri.Rule] == "" {
+			out = append(out, ri.Rule)
+		}
+	}
+	return out
+}
+
+// Report renders the per-rule firing counts in registry order; rules
+// that never fired are marked with a leading "!". Rules that fired but
+// are not registered (a registry gap) are appended.
+func (c *Coverage) Report() string {
+	var b strings.Builder
+	registered := map[opt.Rule]bool{}
+	w := 0
+	for _, ri := range opt.Rules() {
+		if len(ri.Rule) > w {
+			w = len(ri.Rule)
+		}
+	}
+	for _, ri := range opt.Rules() {
+		registered[ri.Rule] = true
+		mark := " "
+		if c.counts[ri.Rule] == 0 {
+			mark = "!"
+		}
+		fmt.Fprintf(&b, "%s %-*s %6d  %s\n", mark, w, ri.Rule, c.counts[ri.Rule], ri.Doc)
+	}
+	var stray []string
+	for r := range c.counts {
+		if !registered[r] {
+			stray = append(stray, string(r))
+		}
+	}
+	sort.Strings(stray)
+	for _, r := range stray {
+		fmt.Fprintf(&b, "? %-*s %6d  (fired but not registered)\n", w, r, c.counts[opt.Rule(r)])
+	}
+	return b.String()
+}

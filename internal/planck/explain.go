@@ -215,6 +215,12 @@ func opLabel(n ralg.Plan) string {
 			rows = x.Tab.N
 		}
 		return fmt.Sprintf("lit(%d rows)", rows)
+	case *ralg.LitDecl:
+		rows := 0
+		if x.Tab != nil {
+			rows = x.Tab.N
+		}
+		return fmt.Sprintf("litdecl(%d rows)", rows)
 	}
 	return n.Name()
 }

@@ -375,6 +375,8 @@ func (v *verifier) check(n ralg.Plan) (*Schema, *colProps) {
 	switch x := n.(type) {
 	case *ralg.Lit:
 		return v.checkLit(x)
+	case *ralg.LitDecl:
+		return v.checkLitDecl(x)
 	case *ralg.DocRoot:
 		if x.Doc == "" {
 			v.failf(n, "empty document name")
@@ -529,14 +531,20 @@ func (v *verifier) rootSchema(node bool, tag xqt.Kind, constItem bool) (*Schema,
 }
 
 func (v *verifier) checkLit(x *ralg.Lit) (*Schema, *colProps) {
-	if x.Tab == nil {
-		v.failf(x, "nil literal table")
+	return v.litSchema(x, x.Tab)
+}
+
+// litSchema infers the schema and directly observable properties of a
+// literal table (shared by Lit and LitDecl).
+func (v *verifier) litSchema(n ralg.Plan, tab *ralg.Table) (*Schema, *colProps) {
+	if tab == nil {
+		v.failf(n, "nil literal table")
 		return nil, nil
 	}
 	s := newSchema()
 	cp := newColProps()
-	for _, name := range x.Tab.Names() {
-		c := x.Tab.Col(name)
+	for _, name := range tab.Names() {
+		c := tab.Col(name)
 		ci := ColInfo{Kind: c.Kind}
 		if c.Kind == ralg.KItem {
 			if k, ok := c.Item.Uniform(); ok && c.Item.Len() > 0 {
@@ -545,10 +553,10 @@ func (v *verifier) checkLit(x *ralg.Lit) (*Schema, *colProps) {
 			}
 		}
 		if !s.add(name, ci) {
-			v.failf(x, "duplicate column %q in literal table", name)
+			v.failf(n, "duplicate column %q in literal table", name)
 			return s, cp
 		}
-		if x.Tab.N <= 1 {
+		if tab.N <= 1 {
 			cp.cnst[name] = true
 		}
 		if c.Kind == ralg.KInt {
@@ -569,6 +577,134 @@ func (v *verifier) checkLit(x *ralg.Lit) (*Schema, *colProps) {
 			if dense {
 				cp.dense[name] = true
 			}
+		}
+	}
+	return s, cp
+}
+
+// litVal returns the comparable value of column c at row i (xqt.Item is
+// a comparable struct), for duplicate and group detection.
+func litVal(c *ralg.Col, i int) any {
+	switch c.Kind {
+	case ralg.KInt:
+		return c.Int[i]
+	case ralg.KBool:
+		return c.Bool[i]
+	default:
+		return c.Item.At(i)
+	}
+}
+
+// checkLitDecl infers a declared literal's schema like a plain Lit and
+// then verifies every declared §4.1 property against the table's actual
+// rows, merging the verified claims into planck's own property set (so
+// the optimizer's inference over the declarations passes crossCheck). A
+// declaration the data refutes is a plan invariant violation — this is
+// what makes LitDecl a sound stand-in for an arbitrary subplan with
+// known properties.
+func (v *verifier) checkLitDecl(x *ralg.LitDecl) (*Schema, *colProps) {
+	s, cp := v.litSchema(x, x.Tab)
+	if v.err != nil || s == nil {
+		return s, cp
+	}
+	t := x.Tab
+	has := func(role, c string) bool {
+		if !s.Has(c) {
+			v.failf(x, "declared %s names column %q absent from the table schema %v", role, c, s.Cols())
+			return false
+		}
+		return true
+	}
+	for _, c := range x.Dense {
+		if !has("dense", c) {
+			continue
+		}
+		col := t.Col(c)
+		if col.Kind != ralg.KInt {
+			v.failf(x, "declared dense(%s) on a non-integer column", c)
+			continue
+		}
+		ok := true
+		for i, val := range col.Int {
+			if val != int64(i)+1 {
+				v.failf(x, "declared dense(%s) but row %d holds %d", c, i, val)
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cp.dense[c] = true
+		}
+	}
+	for _, c := range x.Key {
+		if !has("key", c) {
+			continue
+		}
+		col := t.Col(c)
+		seen := make(map[any]bool, t.N)
+		ok := true
+		for i := 0; i < t.N; i++ {
+			k := litVal(col, i)
+			if seen[k] {
+				v.failf(x, "declared key(%s) but row %d repeats an earlier value", c, i)
+				ok = false
+				break
+			}
+			seen[k] = true
+		}
+		if ok {
+			cp.key[c] = true
+		}
+	}
+	for _, c := range x.Const {
+		if !has("const", c) {
+			continue
+		}
+		col := t.Col(c)
+		ok := true
+		for i := 1; i < t.N; i++ {
+			if litVal(col, i) != litVal(col, 0) {
+				v.failf(x, "declared const(%s) but rows 0 and %d differ", c, i)
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cp.cnst[c] = true
+		}
+	}
+	for _, ord := range x.Ords {
+		ok := len(ord) > 0
+		for _, c := range ord {
+			ok = has("ordering", c) && ok
+		}
+		if !ok {
+			continue
+		}
+		if !ralg.IsSortedBy(t, ord) {
+			v.failf(x, "declared ordering %v but the table is not sorted on it", ord)
+		}
+	}
+	for _, g := range x.Grps {
+		ok := has("group ordering", g.Group) && len(g.Cols) > 0
+		for _, c := range g.Cols {
+			ok = has("group ordering", c) && ok
+		}
+		if !ok {
+			continue
+		}
+		// within each group (rows with equal group values, not
+		// necessarily consecutive) the subsequence must be sorted, i.e.
+		// every adjacent same-group pair must be ordered
+		gc := t.Col(g.Group)
+		last := make(map[any]int, t.N)
+		for i := 0; i < t.N; i++ {
+			k := litVal(gc, i)
+			if j, seen := last[k]; seen && ralg.CompareRowsOn(t, g.Cols, j, i) > 0 {
+				v.failf(x, "declared group ordering %v by %s but rows %d and %d of one group are out of order", g.Cols, g.Group, j, i)
+				break
+			}
+			last[k] = i
 		}
 	}
 	return s, cp

@@ -1,0 +1,155 @@
+package ralg
+
+import (
+	"math/rand"
+	"testing"
+
+	"mxq/internal/xqt"
+)
+
+// randPlan grows a random plan DAG. Previously built subplans are
+// reused with some probability, so the generated DAGs exercise shared
+// subtrees — the property the copier must preserve without aliasing
+// the original.
+func randPlan(rng *rand.Rand, depth int, pool *[]Plan) Plan {
+	var p Plan
+	if depth <= 0 || (len(*pool) > 0 && rng.Intn(4) == 0) {
+		if len(*pool) > 0 && rng.Intn(2) == 0 {
+			return (*pool)[rng.Intn(len(*pool))] // deliberate sharing
+		}
+		tab := NewTable(nil, nil)
+		tab.AddCol("iter", Col{Kind: KInt, Int: []int64{1, 2, 3}})
+		tab.AddCol("item", Col{Kind: KItem, Item: ItemsOf(xqt.Int(rng.Int63n(9)), xqt.Int(7), xqt.Str("x"))})
+		p = &Lit{Tab: tab}
+	} else {
+		in := randPlan(rng, depth-1, pool)
+		switch rng.Intn(7) {
+		case 0:
+			p = NewSort(in, "iter")
+		case 1:
+			p = NewRowNum(in, "pos", []string{"item"}, "iter")
+		case 2:
+			p = NewProject(in, "iter", "item")
+		case 3:
+			s := &Select{Cond: "flag", Neg: rng.Intn(2) == 0}
+			s.SetInput(0, in)
+			p = s
+		case 4:
+			d := &Distinct{By: []string{"iter", "item"}}
+			d.SetInput(0, in)
+			p = d
+		case 5:
+			r := randPlan(rng, depth-1, pool)
+			p = NewHashJoin(in, r, "iter", "iter",
+				[]ColRef{{Src: "item", Dst: "item"}}, []ColRef{{Src: "item", Dst: "ritem"}})
+		default:
+			r := randPlan(rng, depth-1, pool)
+			p = &Union{Ins: []Plan{in, r}}
+		}
+	}
+	*pool = append(*pool, p)
+	return p
+}
+
+func nodeSet(p Plan) map[Plan]bool {
+	set := map[Plan]bool{}
+	Walk(p, func(n Plan) { set[n] = true })
+	return set
+}
+
+// The copier must produce structurally equal, aliasing-free DAGs:
+// equal under PlansEqual, no node object shared with the original, and
+// subplans shared inside the original shared exactly the same way in
+// the copy (same distinct-node count).
+func TestCopyPlanProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for iter := 0; iter < 200; iter++ {
+		var pool []Plan
+		orig := randPlan(rng, 4, &pool)
+		cp := CopyPlan(orig)
+		if !PlansEqual(orig, cp) {
+			t.Fatalf("iteration %d: copy not structurally equal to original", iter)
+		}
+		on, cn := nodeSet(orig), nodeSet(cp)
+		if len(on) != len(cn) {
+			t.Fatalf("iteration %d: original has %d distinct nodes, copy has %d (sharing not preserved)",
+				iter, len(on), len(cn))
+		}
+		for n := range cn {
+			if on[n] {
+				t.Fatalf("iteration %d: copy aliases an original node (%T)", iter, n)
+			}
+		}
+	}
+}
+
+// Mutating a copy — annotations and wiring alike — must never reach
+// the original.
+func TestCopyPlanMutationIsolation(t *testing.T) {
+	tab := NewTable(nil, nil)
+	tab.AddCol("iter", Col{Kind: KInt, Int: []int64{1, 2}})
+	shared := NewSort(&Lit{Tab: tab}, "iter")
+	join := NewHashJoin(shared, shared, "iter", "iter", nil, nil)
+	cp := CopyPlan(join).(*HashJoin)
+	if cp.L != cp.R {
+		t.Fatal("input shared in the original is not shared in the copy")
+	}
+
+	cs := cp.L.(*Sort)
+	cs.By[0] = "mutated"
+	cs.RefinePrefix = 7
+	cp.Pos = true
+	cp.SetInput(1, &Lit{Tab: tab})
+	if shared.By[0] != "iter" || shared.RefinePrefix != 0 {
+		t.Error("mutating the copied sort reached the original")
+	}
+	if join.Pos || join.R != shared {
+		t.Error("mutating the copied join reached the original")
+	}
+	if PlansEqual(join, cp) {
+		t.Error("mutated copy still reported equal to the original")
+	}
+}
+
+// PlansEqual demands bijective sharing: a DAG whose two join inputs
+// are one shared subplan differs from a tree with two identical but
+// distinct subplans.
+func TestPlansEqualSharing(t *testing.T) {
+	mk := func() Plan {
+		tab := NewTable(nil, nil)
+		tab.AddCol("iter", Col{Kind: KInt, Int: []int64{1}})
+		return NewSort(&Lit{Tab: tab}, "iter")
+	}
+	shared := mk()
+	dag := NewHashJoin(shared, shared, "iter", "iter", nil, nil)
+	tree := NewHashJoin(mk(), mk(), "iter", "iter", nil, nil)
+	if PlansEqual(dag, tree) {
+		t.Error("shared-input DAG reported equal to unshared tree")
+	}
+	if !PlansEqual(dag, CopyPlan(dag)) || !PlansEqual(tree, CopyPlan(tree)) {
+		t.Error("copy of a plan not equal to that plan")
+	}
+}
+
+// Replace pre-seeds the copier: occurrences of a subplan map to the
+// substitute, shared occurrences to the one substitute object.
+func TestCopierReplace(t *testing.T) {
+	tab := NewTable(nil, nil)
+	tab.AddCol("iter", Col{Kind: KInt, Int: []int64{2, 1}})
+	in := &Lit{Tab: tab}
+	sorted := NewSort(in, "iter")
+
+	sub := &LitDecl{Tab: tab, Ords: [][]string{{"iter"}}}
+	c := NewCopier()
+	c.Replace(in, sub)
+	got := c.Copy(sorted).(*Sort)
+	if got.In != Plan(sub) {
+		t.Fatalf("substitution not applied: input is %T", got.In)
+	}
+	if c.Copy(in) != Plan(sub) {
+		t.Fatal("replaced subplan does not map to the substitute")
+	}
+	if sorted.In != Plan(in) {
+		t.Fatal("substitution mutated the original plan")
+	}
+}

@@ -203,6 +203,8 @@ func (e *Exec) apply(p Plan, in []*Table) (*Table, error) {
 	switch n := p.(type) {
 	case *Lit:
 		return n.Tab, nil
+	case *LitDecl:
+		return n.Tab, nil
 	case *DocRoot:
 		return e.execDocRoot(n)
 	case *ContextRoot:

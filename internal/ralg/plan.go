@@ -80,6 +80,39 @@ type Lit struct {
 // Name implements Plan.
 func (*Lit) Name() string { return "lit" }
 
+// GrpSpec declares one group ordering of a LitDecl table: rows with
+// equal Group column values are ordered on Cols — the paper's
+// grpord([c…],g) property; groups need not be consecutive.
+type GrpSpec struct {
+	Cols  []string
+	Group string
+}
+
+// LitDecl is a literal table leaf carrying declared §4.1 column
+// properties. The optimizer's inference takes the declarations at face
+// value and the static plan verifier (internal/planck) checks every
+// declaration against the table's actual rows, so a LitDecl can stand
+// in for an arbitrary subplan whose inferred properties are known —
+// which is what translation validation (internal/optcheck) needs when
+// it substitutes synthesized micro-inputs for the inputs of a rewrite
+// witness: a plain Lit would lose ordering claims over item columns.
+type LitDecl struct {
+	nullary
+	Tab *Table
+	// Ords are declared lexicographic orderings of the whole table.
+	Ords [][]string
+	// Grps are declared group orderings.
+	Grps []GrpSpec
+	// Dense, Key and Const name columns holding the sequence 1..N, a
+	// duplicate-free column, and a single constant value respectively.
+	Dense []string
+	Key   []string
+	Const []string
+}
+
+// Name implements Plan.
+func (*LitDecl) Name() string { return "litdecl" }
+
 // DocRoot produces the single-row table (pos=1, item=root node) of a
 // loaded document.
 type DocRoot struct {

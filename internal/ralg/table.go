@@ -543,6 +543,19 @@ func compareRows(t *Table, by []*Col, desc []bool, i, j int32) int {
 	return 0
 }
 
+// CompareRowsOn compares rows i and j of t on the named columns,
+// ascending, with the same comparator the sort kernels use (items via
+// xqt.SortLess). Planck's literal-claim verification and optcheck's
+// input synthesis share it so "sorted" means exactly what the executor
+// means by it.
+func CompareRowsOn(t *Table, by []string, i, j int) int {
+	cols := make([]*Col, len(by))
+	for k, n := range by {
+		cols[k] = t.Col(n)
+	}
+	return compareRows(t, cols, nil, int32(i), int32(j))
+}
+
 // SortIdx returns a stable permutation of t's rows ordered by the given
 // columns. refinePrefix > 0 asserts that the input is already sorted on
 // the first refinePrefix columns; only runs with equal prefixes are

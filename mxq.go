@@ -41,6 +41,7 @@ import (
 	"strings"
 
 	"mxq/internal/core"
+	"mxq/internal/optcheck"
 	"mxq/internal/pages"
 	"mxq/internal/sched"
 	"mxq/internal/scj"
@@ -191,6 +192,17 @@ func WithVerifyPlans(on bool) Option {
 	return func(c *core.Config) { c.VerifyPlans = on }
 }
 
+// WithCheckRewrites translation-validates the optimizer during
+// compilation: every fired rewrite rule emits a before/after witness
+// that is replayed over synthesized micro-inputs (internal/optcheck),
+// and a disagreement fails compilation naming the guilty rule. Far
+// more expensive than WithVerifyPlans — meant for tests, CI and bug
+// hunts. The MXQ_CHECK_REWRITES environment variable force-enables it
+// regardless of this option.
+func WithCheckRewrites(on bool) Option {
+	return func(c *core.Config) { c.TraceRewrites = on }
+}
+
 // Open returns a new engine instance with all paper optimizations
 // enabled, modified by the given options.
 func Open(opts ...Option) *DB {
@@ -332,6 +344,19 @@ func (db *DB) PlanStats(q string) (ops, joins int, err error) {
 // column properties (the planck analysis `xq -explain` prints).
 func (db *DB) ExplainPlan(q string) (string, error) {
 	return db.eng.ExplainPlan(q)
+}
+
+// RewriteCoverage compiles q afresh and reports which registered
+// optimizer rules fired on it, in registry order (the report `xq
+// -rewrite-coverage` prints). Rules that never fired are marked "!".
+func (db *DB) RewriteCoverage(q string) (string, error) {
+	steps, err := db.eng.RewriteSteps(q)
+	if err != nil {
+		return "", err
+	}
+	cov := optcheck.NewCoverage()
+	cov.Add(steps)
+	return cov.Report(), nil
 }
 
 // Engine exposes the underlying engine for benchmarks and tools.
